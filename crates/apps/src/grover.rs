@@ -1,0 +1,217 @@
+//! Square Root (SQ) benchmark generator.
+//!
+//! Grover search [32] for the square root of an `n`-bit number: the oracle
+//! squares the candidate register with shift-and-add arithmetic and
+//! phase-flips on a match. Ripple-carry chains make the oracle — and hence
+//! the application — mostly serial (paper Table 2: parallelism factor 1.5).
+
+use scq_ir::Circuit;
+
+use crate::primitives::{multi_controlled_z, ripple_add, toffoli};
+
+/// Parameters of the [`square_root`] generator.
+///
+/// # Examples
+///
+/// ```
+/// use scq_apps::{square_root, SqParams};
+/// let c = square_root(&SqParams { bits: 4, iterations: Some(2), target: 9 });
+/// assert!(c.len() > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SqParams {
+    /// Width of the candidate register (the number whose root is sought
+    /// has `2*bits` bits).
+    pub bits: u32,
+    /// Number of Grover iterations; `None` uses the optimal
+    /// `floor(pi/4 * 2^(bits/2))`.
+    pub iterations: Option<u32>,
+    /// The number whose square root is sought (only its low `2*bits` bits
+    /// matter; used to place the oracle's phase-flip pattern).
+    pub target: u64,
+}
+
+impl Default for SqParams {
+    /// Default: 6-bit candidate register with the optimal iteration count.
+    fn default() -> Self {
+        SqParams {
+            bits: 6,
+            iterations: None,
+            target: 25,
+        }
+    }
+}
+
+/// Number of Grover iterations used for a given register width when
+/// [`SqParams::iterations`] is `None`: `floor(pi/4 * sqrt(2^bits))`.
+pub fn optimal_iterations(bits: u32) -> u32 {
+    let n = (bits.min(62)) as f64;
+    ((std::f64::consts::PI / 4.0) * n.exp2().sqrt()).floor().max(1.0) as u32
+}
+
+/// Generates the SQ (Grover square-root) circuit.
+///
+/// Qubit layout:
+///
+/// - `0..n`: candidate register `x`,
+/// - `n..3n`: accumulator for `x^2`,
+/// - `3n`: ripple-carry scratch,
+/// - `3n+1 .. 3n+1+(2n-1)`: Toffoli-ladder ancillas for the phase oracle,
+/// - last qubit: phase target.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn square_root(params: &SqParams) -> Circuit {
+    assert!(params.bits >= 2, "square_root: bits must be at least 2");
+    let n = params.bits;
+    let acc0 = n;
+    let acc_w = 2 * n;
+    let carry = n + acc_w;
+    let anc0 = carry + 1;
+    let anc_w = acc_w - 1;
+    let phase = anc0 + anc_w;
+    let total = phase + 1;
+    let iterations = params.iterations.unwrap_or_else(|| optimal_iterations(n));
+
+    let name = format!("sq-n{n}-i{iterations}");
+    let mut b = Circuit::builder(name, total);
+
+    let x: Vec<u32> = (0..n).collect();
+    let acc: Vec<u32> = (acc0..acc0 + acc_w).collect();
+    let ancs: Vec<u32> = (anc0..anc0 + anc_w).collect();
+
+    // Uniform superposition over candidates; phase target in |->.
+    for &q in &x {
+        b.h(q);
+    }
+    b.x(phase);
+    b.h(phase);
+
+    for _iter in 0..iterations {
+        // Oracle part 1: accumulate x^2 by shift-and-add. Each partial
+        // product is gated on bit x_i and ripples through the carry chain.
+        for i in 0..n as usize {
+            toffoli(&mut b, x[i], acc[i], carry);
+            let window: Vec<u32> = acc[i..i + n as usize].to_vec();
+            ripple_add(&mut b, &x, &window, carry);
+        }
+        // Oracle part 2: phase-flip when acc == target.
+        for (i, &q) in acc.iter().enumerate() {
+            if (params.target >> i) & 1 == 0 {
+                b.x(q);
+            }
+        }
+        multi_controlled_z(&mut b, &acc, &ancs, phase);
+        for (i, &q) in acc.iter().enumerate() {
+            if (params.target >> i) & 1 == 0 {
+                b.x(q);
+            }
+        }
+        // Oracle part 3: uncompute the square (adder chains are their own
+        // structural mirror; re-running them restores the dependency
+        // pattern of the reverse computation).
+        for i in (0..n as usize).rev() {
+            let window: Vec<u32> = acc[i..i + n as usize].to_vec();
+            ripple_add(&mut b, &x, &window, carry);
+            toffoli(&mut b, x[i], acc[i], carry);
+        }
+        // Diffusion operator on x.
+        for &q in &x {
+            b.h(q);
+            b.x(q);
+        }
+        multi_controlled_z(&mut b, &x, &ancs[..(n as usize - 1)], phase);
+        for &q in &x {
+            b.x(q);
+            b.h(q);
+        }
+    }
+
+    for &q in &x {
+        b.meas_z(q);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_ir::analysis;
+
+    fn small() -> Circuit {
+        square_root(&SqParams {
+            bits: 4,
+            iterations: Some(2),
+            target: 9,
+        })
+    }
+
+    #[test]
+    fn optimal_iteration_count() {
+        assert_eq!(optimal_iterations(2), 1);
+        assert_eq!(optimal_iterations(4), 3);
+        assert_eq!(optimal_iterations(8), 12);
+    }
+
+    #[test]
+    fn qubit_layout_width() {
+        let c = small();
+        // n + 2n + 1 + (2n-1) + 1 = 5n + 1.
+        assert_eq!(c.num_qubits(), 5 * 4 + 1);
+    }
+
+    #[test]
+    fn parallelism_matches_paper_band() {
+        // Paper Table 2: SQ parallelism factor = 1.5.
+        let stats = analysis::analyze(&square_root(&SqParams::default()));
+        assert!(
+            stats.parallelism_factor > 1.2 && stats.parallelism_factor < 2.0,
+            "SQ parallelism {} outside (1.2, 2.0)",
+            stats.parallelism_factor
+        );
+    }
+
+    #[test]
+    fn ops_scale_with_iterations() {
+        let one = square_root(&SqParams {
+            bits: 4,
+            iterations: Some(1),
+            target: 9,
+        });
+        let two = small();
+        assert!(two.len() > one.len() * 3 / 2);
+    }
+
+    #[test]
+    fn measures_candidate_register() {
+        let c = small();
+        assert_eq!(c.count_gate(scq_ir::Gate::MeasZ), 4);
+    }
+
+    #[test]
+    fn target_pattern_changes_oracle_x_count() {
+        let all_ones = square_root(&SqParams {
+            bits: 4,
+            iterations: Some(1),
+            target: 0xFF,
+        });
+        let zeros = square_root(&SqParams {
+            bits: 4,
+            iterations: Some(1),
+            target: 0,
+        });
+        // target == 0 flips every acc bit twice per iteration.
+        assert!(zeros.count_gate(scq_ir::Gate::X) > all_ones.count_gate(scq_ir::Gate::X));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_register() {
+        square_root(&SqParams {
+            bits: 1,
+            iterations: Some(1),
+            target: 1,
+        });
+    }
+}

@@ -1,0 +1,167 @@
+//! Ground State Estimation (GSE) benchmark generator.
+//!
+//! Iterative quantum phase estimation of a molecular Hamiltonian
+//! (Whitfield et al. [80] in the paper): one ancilla qubit repeatedly
+//! measures phase bits of a controlled Trotterized evolution over the
+//! system register. Every Hamiltonian term threads through the single
+//! phase ancilla, which is why the application is almost entirely serial
+//! (paper Table 2: parallelism factor 1.2).
+
+use scq_ir::Circuit;
+
+use crate::primitives::rz;
+
+/// Parameters of the [`gse`] generator.
+///
+/// # Examples
+///
+/// ```
+/// use scq_apps::{gse, GseParams};
+/// let c = gse(&GseParams { molecule_size: 8, precision_bits: 4 });
+/// assert_eq!(c.num_qubits(), 9); // system + 1 phase ancilla
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GseParams {
+    /// Number of spin orbitals in the simulated molecule (system qubits).
+    pub molecule_size: u32,
+    /// Phase-estimation precision: number of measured phase bits, i.e.
+    /// the number of controlled-evolution rounds.
+    pub precision_bits: u32,
+}
+
+impl Default for GseParams {
+    /// The paper-scale default: a 16-orbital molecule read to 8 phase bits.
+    fn default() -> Self {
+        GseParams {
+            molecule_size: 16,
+            precision_bits: 8,
+        }
+    }
+}
+
+/// Generates the GSE circuit.
+///
+/// Layout: qubits `0..m` are the system register; qubit `m` is the phase
+/// ancilla. Each precision round prepares the ancilla, applies one
+/// controlled-evolution pass over all Hamiltonian terms (single-site terms
+/// on even orbitals, nearest-neighbour ZZ couplings on odd ones), applies
+/// the measurement-feedback rotation, and measures.
+///
+/// # Panics
+///
+/// Panics if `molecule_size < 2` (a molecule needs at least one coupling).
+pub fn gse(params: &GseParams) -> Circuit {
+    assert!(
+        params.molecule_size >= 2,
+        "gse: molecule_size must be at least 2"
+    );
+    let m = params.molecule_size;
+    let anc = m;
+    let name = format!("gse-m{}-p{}", m, params.precision_bits);
+    let mut b = Circuit::builder(name, m + 1);
+
+    // System initialization: Hartree-Fock-style reference state.
+    for q in 0..m {
+        b.prep_z(q);
+        if q % 2 == 0 {
+            b.x(q);
+        }
+    }
+
+    for _round in 0..params.precision_bits {
+        b.prep_z(anc);
+        b.h(anc);
+        for j in 0..m {
+            if j % 2 == 1 {
+                // ZZ coupling term with orbital j-1, controlled on the
+                // phase ancilla: basis change, controlled-Rz core, undo.
+                b.cnot(j - 1, j);
+                b.cnot(anc, j);
+                rz(&mut b, j);
+                b.cnot(anc, j);
+                b.cnot(j - 1, j);
+                b.s(j); // trailing frame correction, off the ancilla path
+            } else {
+                // Single-site term, controlled on the phase ancilla.
+                b.cnot(anc, j);
+                rz(&mut b, j);
+                b.cnot(anc, j);
+            }
+        }
+        // Measurement-feedback rotation and readout of this phase bit.
+        rz(&mut b, anc);
+        b.h(anc);
+        b.meas_z(anc);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_ir::analysis;
+
+    #[test]
+    fn default_shape() {
+        let c = gse(&GseParams::default());
+        assert_eq!(c.num_qubits(), 17);
+        assert!(c.len() > 500, "ops = {}", c.len());
+    }
+
+    #[test]
+    fn parallelism_matches_paper_band() {
+        // Paper Table 2: GSE parallelism factor = 1.2.
+        let stats = analysis::analyze(&gse(&GseParams::default()));
+        assert!(
+            stats.parallelism_factor > 1.0 && stats.parallelism_factor < 1.5,
+            "GSE parallelism {} outside (1.0, 1.5)",
+            stats.parallelism_factor
+        );
+    }
+
+    #[test]
+    fn ops_scale_with_both_parameters() {
+        let small = gse(&GseParams {
+            molecule_size: 8,
+            precision_bits: 4,
+        });
+        let wider = gse(&GseParams {
+            molecule_size: 16,
+            precision_bits: 4,
+        });
+        let deeper = gse(&GseParams {
+            molecule_size: 8,
+            precision_bits: 8,
+        });
+        assert!(wider.len() > small.len());
+        assert!(deeper.len() > small.len());
+    }
+
+    #[test]
+    fn each_round_measures_the_ancilla() {
+        let p = 5;
+        let c = gse(&GseParams {
+            molecule_size: 4,
+            precision_bits: p,
+        });
+        assert_eq!(c.count_gate(scq_ir::Gate::MeasZ), p as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_degenerate_molecule() {
+        gse(&GseParams {
+            molecule_size: 1,
+            precision_bits: 1,
+        });
+    }
+
+    #[test]
+    fn name_encodes_parameters() {
+        let c = gse(&GseParams {
+            molecule_size: 4,
+            precision_bits: 2,
+        });
+        assert_eq!(c.name(), "gse-m4-p2");
+    }
+}

@@ -1,0 +1,253 @@
+//! Ising Model (IM) benchmark generator.
+//!
+//! Digitized adiabatic evolution of a transverse-field Ising spin chain
+//! (Barends et al. [6] in the paper): each Trotter step applies ZZ
+//! interactions on alternating bonds and a transverse X rotation on every
+//! spin. All bonds of a layer commute, so a fully-inlined program exposes
+//! parallelism proportional to the chain length (paper Table 2: factor 66
+//! at the default 100 spins).
+//!
+//! The [`Inlining`] knob reproduces the paper's IM_semi_inlined /
+//! IM_fully_inlined variants (Figure 9): without full inlining, module
+//! boundaries serialize groups of bonds through a module-entry
+//! synchronization ancilla.
+
+use scq_ir::{Circuit, CircuitBuilder};
+
+use crate::primitives::{rx, rz};
+
+/// Degree of module flattening applied by the frontend (paper Section 7.3:
+/// "more code inlining creates more parallelism").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Inlining {
+    /// Bond modules are kept as calls: each group of
+    /// [`IsingParams::module_size`] bonds synchronizes on a shared module
+    /// ancilla, serializing the groups within a Trotter layer.
+    Semi,
+    /// All modules are flattened; every bond in a layer is independent.
+    #[default]
+    Full,
+}
+
+impl Inlining {
+    /// Short suffix used in circuit names (`"semi"` / `"full"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Inlining::Semi => "semi",
+            Inlining::Full => "full",
+        }
+    }
+}
+
+/// Parameters of the [`ising`] generator.
+///
+/// # Examples
+///
+/// ```
+/// use scq_apps::{ising, Inlining, IsingParams};
+/// let c = ising(&IsingParams { spins: 10, trotter_steps: 2, ..Default::default() });
+/// assert_eq!(c.num_qubits(), 11); // spins + module ancilla
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IsingParams {
+    /// Number of spins in the chain.
+    pub spins: u32,
+    /// Number of Trotter steps of the digitized evolution.
+    pub trotter_steps: u32,
+    /// Inlining level (see [`Inlining`]).
+    pub inlining: Inlining,
+    /// Bonds per un-inlined module (only used by [`Inlining::Semi`]).
+    pub module_size: u32,
+}
+
+impl Default for IsingParams {
+    /// The paper-scale default: a 100-spin chain, 10 Trotter steps, fully
+    /// inlined — landing the Table 2 parallelism factor of ~66.
+    fn default() -> Self {
+        IsingParams {
+            spins: 100,
+            trotter_steps: 10,
+            inlining: Inlining::Full,
+            module_size: 8,
+        }
+    }
+}
+
+/// Emits one ZZ bond interaction: CNOT conjugated Rz on the bond target.
+fn zz_bond(b: &mut CircuitBuilder, lo: u32, hi: u32) {
+    b.cnot(lo, hi);
+    rz(b, hi);
+    b.cnot(lo, hi);
+}
+
+/// Generates the Ising-model circuit.
+///
+/// Qubits `0..spins` are the chain; qubit `spins` is the module
+/// synchronization ancilla (only touched under [`Inlining::Semi`]).
+///
+/// # Panics
+///
+/// Panics if `spins < 2`, `trotter_steps == 0`, or `module_size == 0`.
+pub fn ising(params: &IsingParams) -> Circuit {
+    assert!(params.spins >= 2, "ising: spins must be at least 2");
+    assert!(params.trotter_steps >= 1, "ising: need at least one step");
+    assert!(params.module_size >= 1, "ising: module_size must be positive");
+    let n = params.spins;
+    let anc = n;
+    let name = format!(
+        "im-{}-n{}-s{}",
+        params.inlining.suffix(),
+        n,
+        params.trotter_steps
+    );
+    let mut b = Circuit::builder(name, n + 1);
+
+    // Initial transverse-field ground state.
+    for q in 0..n {
+        b.prep_z(q);
+        b.h(q);
+    }
+
+    for _step in 0..params.trotter_steps {
+        for parity in 0..2u32 {
+            // One layer of ZZ bonds on even (parity 0) or odd bonds.
+            let bonds: Vec<u32> = (0..n - 1).filter(|i| i % 2 == parity).collect();
+            match params.inlining {
+                Inlining::Full => {
+                    for &i in &bonds {
+                        zz_bond(&mut b, i, i + 1);
+                    }
+                }
+                Inlining::Semi => {
+                    for module in bonds.chunks(params.module_size as usize) {
+                        // Module prologue: entry synchronization through
+                        // the shared ancilla serializes modules.
+                        b.prep_z(anc);
+                        b.cnot(module[0], anc);
+                        for &i in module {
+                            zz_bond(&mut b, i, i + 1);
+                        }
+                        // Module epilogue.
+                        b.cnot(module[module.len() - 1] + 1, anc);
+                        b.meas_z(anc);
+                    }
+                }
+            }
+        }
+        // Transverse-field rotation on every spin (fully parallel).
+        for q in 0..n {
+            rx(&mut b, q);
+        }
+    }
+
+    for q in 0..n {
+        b.meas_z(q);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_ir::analysis;
+
+    #[test]
+    fn default_parallelism_matches_paper() {
+        // Paper Table 2: IM parallelism factor = 66.
+        let stats = analysis::analyze(&ising(&IsingParams::default()));
+        assert!(
+            stats.parallelism_factor > 50.0 && stats.parallelism_factor < 80.0,
+            "IM parallelism {} outside (50, 80)",
+            stats.parallelism_factor
+        );
+    }
+
+    #[test]
+    fn semi_inlining_reduces_parallelism() {
+        let full = analysis::analyze(&ising(&IsingParams::default()));
+        let semi = analysis::analyze(&ising(&IsingParams {
+            inlining: Inlining::Semi,
+            ..Default::default()
+        }));
+        assert!(
+            semi.parallelism_factor < full.parallelism_factor / 2.0,
+            "semi {} vs full {}",
+            semi.parallelism_factor,
+            full.parallelism_factor
+        );
+        assert!(semi.parallelism_factor > 2.0);
+    }
+
+    #[test]
+    fn parallelism_scales_with_chain_length() {
+        let short = analysis::analyze(&ising(&IsingParams {
+            spins: 20,
+            ..Default::default()
+        }));
+        let long = analysis::analyze(&ising(&IsingParams {
+            spins: 80,
+            ..Default::default()
+        }));
+        assert!(long.parallelism_factor > 3.0 * short.parallelism_factor);
+    }
+
+    #[test]
+    fn ops_scale_linearly_with_steps() {
+        let one = ising(&IsingParams {
+            spins: 20,
+            trotter_steps: 1,
+            ..Default::default()
+        });
+        let four = ising(&IsingParams {
+            spins: 20,
+            trotter_steps: 4,
+            ..Default::default()
+        });
+        let per_step = four.len() - one.len();
+        assert!(per_step >= 3 * (one.len() - 60)); // minus init/meas overhead
+    }
+
+    #[test]
+    fn full_inlining_never_touches_ancilla() {
+        let c = ising(&IsingParams {
+            spins: 10,
+            trotter_steps: 2,
+            ..Default::default()
+        });
+        let anc = scq_ir::Qubit::new(10);
+        assert!(c.iter().all(|inst| !inst.touches(anc)));
+    }
+
+    #[test]
+    fn semi_inlining_uses_ancilla() {
+        let c = ising(&IsingParams {
+            spins: 10,
+            trotter_steps: 1,
+            inlining: Inlining::Semi,
+            module_size: 2,
+        });
+        let anc = scq_ir::Qubit::new(10);
+        assert!(c.iter().any(|inst| inst.touches(anc)));
+    }
+
+    #[test]
+    fn name_encodes_variant() {
+        let c = ising(&IsingParams {
+            spins: 4,
+            trotter_steps: 1,
+            inlining: Inlining::Semi,
+            module_size: 2,
+        });
+        assert_eq!(c.name(), "im-semi-n4-s1");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_spin() {
+        ising(&IsingParams {
+            spins: 1,
+            trotter_steps: 1,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,291 @@
+//! Shared gate-level building blocks for the benchmark generators.
+//!
+//! Everything here lowers directly to the Clifford+T ISA of `scq-ir`:
+//! rotations become Solovay-Kitaev-style T/H sequences, Toffolis use the
+//! standard 7-T decomposition, and arithmetic uses Cuccaro-style
+//! ripple-carry chains. The decompositions are structurally faithful
+//! (operand patterns, dependency shapes, T counts); the backend only
+//! consumes structure, never simulated amplitudes.
+
+use scq_ir::CircuitBuilder;
+
+/// Number of alternating T/H gates used to approximate one small-angle
+/// rotation. Four gates is a deliberately short stand-in for a
+/// Solovay-Kitaev sequence; the toolflow's results depend on the serial
+/// *chain shape*, not on approximation accuracy.
+pub const ROTATION_SEQ_LEN: usize = 4;
+
+/// Appends an Rz-style rotation on `q` as a serial T/H chain.
+pub fn rz(b: &mut CircuitBuilder, q: u32) {
+    rz_with_len(b, q, ROTATION_SEQ_LEN);
+}
+
+/// Appends an Rz-style rotation of configurable sequence length.
+pub fn rz_with_len(b: &mut CircuitBuilder, q: u32, len: usize) {
+    for k in 0..len {
+        if k % 2 == 0 {
+            b.t(q);
+        } else {
+            b.h(q);
+        }
+    }
+}
+
+/// Appends an Rx-style rotation on `q`: H-conjugated Rz.
+pub fn rx(b: &mut CircuitBuilder, q: u32) {
+    b.h(q);
+    rz(b, q);
+    b.h(q);
+}
+
+/// Appends a Toffoli (CCX) on controls `a`, `b` and target `t` using the
+/// textbook 7-T-gate Clifford+T decomposition (15 ops).
+///
+/// # Panics
+///
+/// Panics (via the builder) if the three qubits are not distinct and in
+/// range.
+pub fn toffoli(b: &mut CircuitBuilder, a: u32, c: u32, t: u32) {
+    b.h(t);
+    b.cnot(c, t);
+    b.tdg(t);
+    b.cnot(a, t);
+    b.t(t);
+    b.cnot(c, t);
+    b.tdg(t);
+    b.cnot(a, t);
+    b.t(c);
+    b.t(t);
+    b.h(t);
+    b.cnot(a, c);
+    b.tdg(c);
+    b.cnot(a, c);
+    b.t(a);
+}
+
+/// Number of instructions emitted by [`toffoli`].
+pub const TOFFOLI_OPS: usize = 15;
+
+/// Appends a multi-controlled Z over `controls` onto `target`, using a
+/// ladder of Toffolis through `ancillas` (standard linear-ancilla
+/// construction). Requires `ancillas.len() + 1 >= controls.len()` when
+/// `controls.len() >= 2`.
+///
+/// With zero controls this is a plain Z; with one control a CZ.
+///
+/// # Panics
+///
+/// Panics if too few ancillas are supplied, or qubits are invalid.
+pub fn multi_controlled_z(
+    b: &mut CircuitBuilder,
+    controls: &[u32],
+    ancillas: &[u32],
+    target: u32,
+) {
+    match controls.len() {
+        0 => {
+            b.z(target);
+        }
+        1 => {
+            b.cz(controls[0], target);
+        }
+        _ => {
+            let k = controls.len();
+            assert!(
+                ancillas.len() >= k - 1,
+                "multi_controlled_z: need {} ancillas, got {}",
+                k - 1,
+                ancillas.len()
+            );
+            // Compute the AND-ladder into ancillas.
+            toffoli(b, controls[0], controls[1], ancillas[0]);
+            for i in 2..k {
+                toffoli(b, controls[i], ancillas[i - 2], ancillas[i - 1]);
+            }
+            b.cz(ancillas[k - 2], target);
+            // Uncompute the ladder.
+            for i in (2..k).rev() {
+                toffoli(b, controls[i], ancillas[i - 2], ancillas[i - 1]);
+            }
+            toffoli(b, controls[0], controls[1], ancillas[0]);
+        }
+    }
+}
+
+/// Appends a Cuccaro-style MAJ block: `(c, s, a)` with carry `c`, sum bit
+/// `s`, and carry-out accumulator `a`.
+fn maj(b: &mut CircuitBuilder, c: u32, s: u32, a: u32) {
+    b.cnot(a, s);
+    b.cnot(a, c);
+    toffoli(b, c, s, a);
+}
+
+/// Appends the inverse UMA block of the Cuccaro adder.
+fn uma(b: &mut CircuitBuilder, c: u32, s: u32, a: u32) {
+    toffoli(b, c, s, a);
+    b.cnot(a, c);
+    b.cnot(c, s);
+}
+
+/// Appends an in-place ripple-carry addition `bb += aa` over equal-width
+/// registers, with `carry` as the incoming-carry scratch qubit.
+///
+/// The MAJ chain runs up the words and the UMA chain back down, giving the
+/// serial carry-dependency the paper's adders exhibit.
+///
+/// # Panics
+///
+/// Panics if the registers differ in width or qubits are invalid.
+pub fn ripple_add(b: &mut CircuitBuilder, aa: &[u32], bb: &[u32], carry: u32) {
+    assert_eq!(aa.len(), bb.len(), "ripple_add: register width mismatch");
+    if aa.is_empty() {
+        return;
+    }
+    let w = aa.len();
+    maj(b, carry, bb[0], aa[0]);
+    for i in 1..w {
+        maj(b, aa[i - 1], bb[i], aa[i]);
+    }
+    for i in (1..w).rev() {
+        uma(b, aa[i - 1], bb[i], aa[i]);
+    }
+    uma(b, carry, bb[0], aa[0]);
+}
+
+/// Appends a bitwise XOR of register `src` into `dst` (one CNOT per lane,
+/// all lanes independent — the fully-parallel pattern of SHA-1's word
+/// operations).
+///
+/// # Panics
+///
+/// Panics if the registers differ in width.
+pub fn xor_into(b: &mut CircuitBuilder, src: &[u32], dst: &[u32]) {
+    assert_eq!(src.len(), dst.len(), "xor_into: register width mismatch");
+    for (&s, &d) in src.iter().zip(dst) {
+        b.cnot(s, d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_ir::{analysis, Circuit, DependencyDag};
+
+    fn builder(n: u32) -> CircuitBuilder {
+        Circuit::builder("prim-test", n)
+    }
+
+    #[test]
+    fn rz_emits_requested_length() {
+        let mut b = builder(1);
+        rz(&mut b, 0);
+        assert_eq!(b.len(), ROTATION_SEQ_LEN);
+        let c = b.finish();
+        let dag = DependencyDag::from_circuit(&c);
+        assert_eq!(dag.depth(), ROTATION_SEQ_LEN, "rotation must be serial");
+    }
+
+    #[test]
+    fn rx_wraps_rz_in_hadamards() {
+        let mut b = builder(1);
+        rx(&mut b, 0);
+        let c = b.finish();
+        assert_eq!(c.len(), ROTATION_SEQ_LEN + 2);
+        assert_eq!(c.instructions()[0].gate(), scq_ir::Gate::H);
+        assert_eq!(
+            c.instructions().last().unwrap().gate(),
+            scq_ir::Gate::H
+        );
+    }
+
+    #[test]
+    fn toffoli_has_seven_t_gates() {
+        let mut b = builder(3);
+        toffoli(&mut b, 0, 1, 2);
+        let c = b.finish();
+        assert_eq!(c.len(), TOFFOLI_OPS);
+        assert_eq!(c.t_count(), 7);
+        assert_eq!(c.two_qubit_count(), 6);
+    }
+
+    #[test]
+    fn toffoli_parallelism_is_modest() {
+        let mut b = builder(3);
+        toffoli(&mut b, 0, 1, 2);
+        let stats = analysis::analyze(&b.finish());
+        assert!(
+            stats.parallelism_factor > 1.0 && stats.parallelism_factor < 2.0,
+            "toffoli PF = {}",
+            stats.parallelism_factor
+        );
+    }
+
+    #[test]
+    fn mcz_zero_and_one_controls() {
+        let mut b = builder(2);
+        multi_controlled_z(&mut b, &[], &[], 0);
+        multi_controlled_z(&mut b, &[1], &[], 0);
+        let c = b.finish();
+        assert_eq!(c.count_gate(scq_ir::Gate::Z), 1);
+        assert_eq!(c.count_gate(scq_ir::Gate::Cz), 1);
+    }
+
+    #[test]
+    fn mcz_ladder_computes_and_uncomputes() {
+        let mut b = builder(8);
+        // 4 controls (q0..q3), 3 ancillas (q4..q6), target q7.
+        multi_controlled_z(&mut b, &[0, 1, 2, 3], &[4, 5, 6], 7);
+        let c = b.finish();
+        // 3 toffolis up + 3 down + 1 cz.
+        assert_eq!(c.len(), 6 * TOFFOLI_OPS + 1);
+        assert_eq!(c.count_gate(scq_ir::Gate::Cz), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 3 ancillas")]
+    fn mcz_rejects_insufficient_ancillas() {
+        let mut b = builder(8);
+        multi_controlled_z(&mut b, &[0, 1, 2, 3], &[4], 7);
+    }
+
+    #[test]
+    fn ripple_add_is_carry_serial() {
+        let w = 8;
+        let mut b = builder(2 * w + 1);
+        let aa: Vec<u32> = (0..w).collect();
+        let bb: Vec<u32> = (w..2 * w).collect();
+        ripple_add(&mut b, &aa, &bb, 2 * w);
+        let c = b.finish();
+        let dag = DependencyDag::from_circuit(&c);
+        // The carry chain makes depth grow linearly with width.
+        assert!(dag.depth() as u32 > 4 * w, "depth {}", dag.depth());
+        assert_eq!(c.len(), (w as usize) * 2 * (2 + TOFFOLI_OPS));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ripple_add_rejects_mismatched_widths() {
+        let mut b = builder(4);
+        ripple_add(&mut b, &[0], &[1, 2], 3);
+    }
+
+    #[test]
+    fn xor_into_is_fully_parallel() {
+        let w = 16;
+        let mut b = builder(2 * w);
+        let src: Vec<u32> = (0..w).collect();
+        let dst: Vec<u32> = (w..2 * w).collect();
+        xor_into(&mut b, &src, &dst);
+        let c = b.finish();
+        let dag = DependencyDag::from_circuit(&c);
+        assert_eq!(dag.depth(), 1);
+        assert_eq!(dag.parallelism_factor(), w as f64);
+    }
+
+    #[test]
+    fn ripple_add_empty_registers_is_noop() {
+        let mut b = builder(1);
+        ripple_add(&mut b, &[], &[], 0);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! SHA-1 decryption benchmark generator.
+//!
+//! The paper's SHA-1 workload [55] runs the compression function in
+//! superposition to invert a digest. Word operations act bitwise across
+//! all lanes at once — the source of the application's high parallelism
+//! (paper Table 2: parallelism factor 29). Additions use carry-save form
+//! so that per-round arithmetic stays lane-parallel; a single ripple-carry
+//! conversion runs at the end.
+
+use scq_ir::{Circuit, CircuitBuilder};
+
+use crate::primitives::{ripple_add, toffoli, xor_into};
+
+/// Parameters of the [`sha1`] generator.
+///
+/// # Examples
+///
+/// ```
+/// use scq_apps::{sha1, Sha1Params};
+/// let c = sha1(&Sha1Params { word_bits: 8, rounds: 4 });
+/// assert!(c.num_qubits() > 8 * 16);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sha1Params {
+    /// Word width in bits (real SHA-1 uses 32; smaller widths shrink test
+    /// circuits while preserving structure).
+    pub word_bits: u32,
+    /// Number of compression rounds (real SHA-1 uses 80).
+    pub rounds: u32,
+}
+
+impl Default for Sha1Params {
+    /// Default: full 32-bit words, 12 rounds — large enough to exhibit
+    /// the paper's parallelism factor (~29) while staying cheap to
+    /// schedule.
+    fn default() -> Self {
+        Sha1Params {
+            word_bits: 32,
+            rounds: 12,
+        }
+    }
+}
+
+/// A register of `w` qubits with a logical rotation offset.
+///
+/// SHA-1's `rotl` operations are free relabelings: rotating the register
+/// adjusts which physical qubit holds which bit, without emitting gates.
+#[derive(Clone, Debug)]
+struct Reg {
+    bits: Vec<u32>,
+}
+
+impl Reg {
+    fn new(start: u32, width: u32) -> Self {
+        Reg {
+            bits: (start..start + width).collect(),
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Bit `i` after rotating left by `k`.
+    fn bit(&self, i: usize) -> u32 {
+        self.bits[i]
+    }
+
+    fn rotl(&mut self, k: usize) {
+        let w = self.width();
+        self.bits.rotate_left(k % w);
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        &self.bits
+    }
+}
+
+/// Emits one carry-save addition layer: `(sum, carry) += addend`, all
+/// lanes independent (1 CNOT + 1 Toffoli per lane).
+fn carry_save_add(b: &mut CircuitBuilder, addend: &Reg, sum: &Reg, carry: &Reg) {
+    let w = sum.width();
+    for i in 0..w {
+        b.cnot(addend.bit(i), sum.bit(i));
+        // Carry out of lane i lands in lane i+1 (top carry wraps into the
+        // spare lane 0 slot of the carry register — structural only).
+        toffoli(b, addend.bit(i), sum.bit(i), carry.bit((i + 1) % w));
+    }
+}
+
+/// Generates the SHA-1 compression circuit.
+///
+/// Qubit layout: 16 message words, the five working words `a..e`, an `f`
+/// scratch word, carry-save `sum`/`carry` words, and one final-adder
+/// scratch qubit.
+///
+/// # Panics
+///
+/// Panics if `word_bits < 4` or `rounds == 0`.
+pub fn sha1(params: &Sha1Params) -> Circuit {
+    assert!(params.word_bits >= 4, "sha1: word_bits must be at least 4");
+    assert!(params.rounds >= 1, "sha1: rounds must be at least 1");
+    let w = params.word_bits;
+    let name = format!("sha1-w{}-r{}", w, params.rounds);
+
+    let mut next = 0u32;
+    let mut alloc = |width: u32| {
+        let r = Reg::new(next, width);
+        next += width;
+        r
+    };
+    let words: Vec<Reg> = (0..16).map(|_| alloc(w)).collect();
+    let mut a = alloc(w);
+    let mut bw = alloc(w);
+    let cw = alloc(w);
+    let dw = alloc(w);
+    let ew = alloc(w);
+    let f = alloc(w);
+    let mut sum = alloc(w);
+    let carry = alloc(w);
+    let final_carry = next;
+    next += 1;
+
+    let mut b = Circuit::builder(name, next);
+
+    // Working variables e, d, c, b, a rotate roles each round; represent
+    // them as an array indexed by role.
+    let mut work = [a.clone(), bw.clone(), cw, dw, ew];
+
+    for t in 0..params.rounds as usize {
+        // Message schedule for expanded rounds:
+        // w[t] ^= w[t-3] ^ w[t-8] ^ w[t-14]  (lane-parallel XORs).
+        if t >= 16 {
+            let idx = t % 16;
+            for back in [3usize, 8, 14] {
+                let src = (t - back) % 16;
+                if src != idx {
+                    let (s, d) = (words[src].as_slice().to_vec(), words[idx].as_slice().to_vec());
+                    xor_into(&mut b, &s, &d);
+                }
+            }
+        }
+        let wt = &words[t % 16];
+
+        // f = Ch(b, c, d) per lane: f ^= b&c, f ^= d. All lanes parallel.
+        for i in 0..w as usize {
+            toffoli(&mut b, work[1].bit(i), work[2].bit(i), f.bit(i));
+            b.cnot(work[3].bit(i), f.bit(i));
+        }
+
+        // temp = rotl5(a) + f + e + w[t] in carry-save form.
+        a = work[0].clone();
+        a.rotl(5);
+        carry_save_add(&mut b, &a, &sum, &carry);
+        carry_save_add(&mut b, &f, &sum, &carry);
+        carry_save_add(&mut b, &work[4], &sum, &carry);
+        carry_save_add(&mut b, wt, &sum, &carry);
+
+        // Uncompute f so the scratch word is reusable next round.
+        for i in 0..w as usize {
+            b.cnot(work[3].bit(i), f.bit(i));
+            toffoli(&mut b, work[1].bit(i), work[2].bit(i), f.bit(i));
+        }
+
+        // b = rotl30(b); role rotation e,d,c,b,a <- d,c,b,a,temp.
+        bw = work[1].clone();
+        bw.rotl(30);
+        let old_e = work[4].clone();
+        work = [sum.clone(), work[0].clone(), bw.clone(), work[2].clone(), work[3].clone()];
+        // The displaced e word becomes the next round's carry-save sum.
+        sum = old_e;
+    }
+
+    // One final ripple-carry conversion out of carry-save form.
+    let sum_bits = work[0].as_slice().to_vec();
+    let carry_bits = carry.as_slice().to_vec();
+    ripple_add(&mut b, &carry_bits, &sum_bits, final_carry);
+
+    for role in &work {
+        for i in 0..w as usize {
+            b.meas_z(role.bit(i));
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_ir::analysis;
+
+    #[test]
+    fn default_shape() {
+        let c = sha1(&Sha1Params::default());
+        // 16 message + 5 work + f + sum + carry = 24 words + 1 scratch.
+        assert_eq!(c.num_qubits(), 24 * 32 + 1);
+        assert!(c.len() > 5_000, "ops = {}", c.len());
+    }
+
+    #[test]
+    fn parallelism_matches_paper_band() {
+        // Paper Table 2: SHA-1 parallelism factor = 29.
+        let stats = analysis::analyze(&sha1(&Sha1Params::default()));
+        assert!(
+            stats.parallelism_factor > 18.0 && stats.parallelism_factor < 45.0,
+            "SHA-1 parallelism {} outside (18, 45)",
+            stats.parallelism_factor
+        );
+    }
+
+    #[test]
+    fn parallelism_tracks_word_width() {
+        let narrow = analysis::analyze(&sha1(&Sha1Params {
+            word_bits: 8,
+            rounds: 4,
+        }));
+        let wide = analysis::analyze(&sha1(&Sha1Params {
+            word_bits: 32,
+            rounds: 4,
+        }));
+        assert!(wide.parallelism_factor > 1.3 * narrow.parallelism_factor);
+    }
+
+    #[test]
+    fn expanded_rounds_emit_schedule_xors() {
+        let short = sha1(&Sha1Params {
+            word_bits: 8,
+            rounds: 16,
+        });
+        let long = sha1(&Sha1Params {
+            word_bits: 8,
+            rounds: 18,
+        });
+        let per_round = short.len() / 16;
+        // Rounds past 16 add schedule XOR traffic on top of a plain round.
+        assert!(long.len() > short.len() + per_round);
+    }
+
+    #[test]
+    fn rotation_is_free() {
+        // rotl is a relabeling: the op count of 1 round must not include
+        // any swap gates.
+        let c = sha1(&Sha1Params {
+            word_bits: 8,
+            rounds: 1,
+        });
+        assert_eq!(c.count_gate(scq_ir::Gate::Swap), 0);
+    }
+
+    #[test]
+    fn measures_all_working_words() {
+        let c = sha1(&Sha1Params {
+            word_bits: 8,
+            rounds: 2,
+        });
+        assert_eq!(c.count_gate(scq_ir::Gate::MeasZ), 5 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn rejects_tiny_words() {
+        sha1(&Sha1Params {
+            word_bits: 2,
+            rounds: 1,
+        });
+    }
+
+    #[test]
+    fn reg_rotation_relabels() {
+        let mut r = Reg::new(10, 4);
+        r.rotl(1);
+        assert_eq!(r.as_slice(), &[11, 12, 13, 10]);
+        r.rotl(3);
+        assert_eq!(r.as_slice(), &[10, 11, 12, 13]);
+    }
+}

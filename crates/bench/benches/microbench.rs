@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the toolflow's hot kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scq_apps::{ising, Benchmark, IsingParams};
+use scq_braid::{BraidConfig, Policy};
+use scq_ir::{DependencyDag, InteractionGraph};
+use scq_layout::{place, LayoutStrategy};
+use scq_partition::{bisect, Graph, PartitionConfig};
+
+fn bench_dag_construction(c: &mut Criterion) {
+    let circuit = Benchmark::IsingFull.default_circuit();
+    c.bench_function("dag/ising-default", |b| {
+        b.iter(|| DependencyDag::from_circuit(std::hint::black_box(&circuit)))
+    });
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut edges = Vec::new();
+    let (w, h) = (24u32, 24u32);
+    for y in 0..h {
+        for x in 0..w {
+            let id = y * w + x;
+            if x + 1 < w {
+                edges.push((id, id + 1, 1));
+            }
+            if y + 1 < h {
+                edges.push((id, id + w, 1));
+            }
+        }
+    }
+    let graph = Graph::from_edges(w * h, &edges).unwrap();
+    c.bench_function("partition/bisect-grid-576", |b| {
+        b.iter(|| bisect(std::hint::black_box(&graph), &PartitionConfig::default()))
+    });
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let circuit = ising(&IsingParams {
+        spins: 64,
+        trotter_steps: 2,
+        ..Default::default()
+    });
+    let graph = InteractionGraph::from_circuit(&circuit);
+    c.bench_function("layout/interaction-aware-64", |b| {
+        b.iter(|| place(std::hint::black_box(&graph), LayoutStrategy::InteractionAware, None))
+    });
+}
+
+fn bench_braid_scheduler(c: &mut Criterion) {
+    let circuit = ising(&IsingParams {
+        spins: 32,
+        trotter_steps: 2,
+        ..Default::default()
+    });
+    let config = BraidConfig {
+        policy: Policy::P6,
+        code_distance: 3,
+        ..Default::default()
+    };
+    c.bench_function("braid/p6-ising-32x2", |b| {
+        b.iter_batched(
+            || circuit.clone(),
+            |circ| scq_braid::schedule_circuit(&circ, &config).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_epr_pipeline(c: &mut Criterion) {
+    use scq_teleport::{simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand};
+    let demands: Vec<EprDemand> = (0..20_000)
+        .map(|i| EprDemand { time: 10 + i / 4, distance: 6 })
+        .collect();
+    c.bench_function("epr/jit-20k-teleports", |b| {
+        b.iter(|| {
+            simulate_epr_distribution(
+                std::hint::black_box(&demands),
+                DistributionPolicy::JustInTime { window: 256 },
+                &EprConfig::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dag_construction,
+    bench_partitioner,
+    bench_layout,
+    bench_braid_scheduler,
+    bench_epr_pipeline
+);
+criterion_main!(benches);

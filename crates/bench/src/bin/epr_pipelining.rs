@@ -1,0 +1,51 @@
+//! Regenerates the Section 8.1 study: just-in-time EPR distribution
+//! window sizes vs peak live EPR pairs and added latency ("up to ~24X
+//! savings in qubit cost and only a maximum of ~4% extra latency").
+
+use scq_apps::Benchmark;
+use scq_ir::DependencyDag;
+use scq_teleport::{
+    schedule_simd, simulate_epr_distribution, window_sweep, DistributionPolicy, EprConfig,
+    EprDemand, SimdConfig,
+};
+
+fn main() {
+    println!("Section 8.1: pipelined EPR distribution");
+    let config = EprConfig::default();
+    let windows = [1usize, 4, 16, 64, 256, 512, 1024, 2048];
+    for bench in Benchmark::TABLE2 {
+        let circuit = bench.small_circuit();
+        let dag = DependencyDag::from_circuit(&circuit);
+        let simd = schedule_simd(&circuit, &dag, &SimdConfig::default());
+        let demands: Vec<EprDemand> = simd
+            .teleport_times
+            .iter()
+            .map(|&t| EprDemand { time: t, distance: 6 })
+            .collect();
+        let eager =
+            simulate_epr_distribution(&demands, DistributionPolicy::EagerPrefetch, &config);
+        println!(
+            "\n== {} ({} teleports, eager-prefetch peak {} live pairs) ==",
+            bench.name(),
+            demands.len(),
+            eager.peak_live_eprs
+        );
+        println!("{:>8} {:>12} {:>12} {:>12}", "window", "peak live", "savings", "latency+");
+        let mut best: Option<(usize, f64)> = None;
+        for (w, r) in window_sweep(&demands, &windows, &config) {
+            let savings = eager.peak_live_eprs as f64 / r.peak_live_eprs.max(1) as f64;
+            println!(
+                "{w:>8} {:>12} {savings:>11.1}x {:>11.2}%",
+                r.peak_live_eprs,
+                r.latency_overhead() * 100.0
+            );
+            if r.latency_overhead() <= 0.05 && best.map(|(_, s)| savings > s).unwrap_or(true) {
+                best = Some((w, savings));
+            }
+        }
+        match best {
+            Some((w, s)) => println!("best window <= 5% latency: {w} ({s:.1}x qubit savings)"),
+            None => println!("no window met the 5% latency budget"),
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 7: absolute space and time to run error-corrected
+//! SQ instances of varying size (pP = 1e-8, single-qubit ops 10x faster
+//! than two-qubit ops).
+
+use scq_apps::Benchmark;
+use scq_estimate::{AppProfile, EstimateConfig};
+use scq_explore::{log_spaced, sweep_computation_sizes};
+
+fn main() {
+    let config = EstimateConfig::default(); // pP = 1e-8
+    let profile = AppProfile::calibrate(Benchmark::SquareRoot);
+    println!("Figure 7: absolute resources for SQ ({})", config.technology);
+    println!();
+    println!(
+        "{:>12} {:>6} {:>14} {:>14} {:>14} {:>14}",
+        "1/pL", "d", "planar time s", "dd time s", "planar qubits", "dd qubits"
+    );
+    for pt in sweep_computation_sizes(&profile, &config, &log_spaced(1.0, 1e24, 13)) {
+        println!(
+            "{:>12.1e} {:>6} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e}",
+            pt.kq,
+            pt.planar.code_distance,
+            pt.planar.seconds,
+            pt.double_defect.seconds,
+            pt.planar.physical_qubits,
+            pt.double_defect.physical_qubits
+        );
+    }
+    println!();
+    println!("Paper shape: small instances run in under a second; ~1e3 qubits at");
+    println!("modest sizes; qubit counts step up when the code distance d rises.");
+}

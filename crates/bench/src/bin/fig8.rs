@@ -1,0 +1,30 @@
+//! Regenerates Figure 8: double-defect resources normalized to the
+//! planar baseline for the SQ (serial) and IM (parallel) applications,
+//! with their cross-over points (pP = 1e-8).
+
+use scq_apps::Benchmark;
+use scq_estimate::{AppProfile, EstimateConfig};
+use scq_explore::{crossover_size, log_spaced, ratio_sweep};
+
+fn main() {
+    let config = EstimateConfig::default();
+    println!("Figure 8: double-defect relative to planar baseline (pP = 1e-8)");
+    for bench in [Benchmark::SquareRoot, Benchmark::IsingFull] {
+        let profile = AppProfile::calibrate(bench);
+        println!("\n(a/b) {} — parallelism {:.1}", profile.name, profile.parallelism);
+        println!("{:>12} {:>10} {:>10} {:>14}", "1/pL", "qubits", "time", "qubits x time");
+        for pt in ratio_sweep(&profile, &config, &log_spaced(1.0, 1e24, 13)) {
+            println!(
+                "{:>12.1e} {:>10.2} {:>10.2} {:>14.2}",
+                pt.kq, pt.qubit_ratio, pt.time_ratio, pt.space_time_ratio()
+            );
+        }
+        match crossover_size(&profile, &config, (1.0, 1e24)) {
+            Some(kq) => println!("cross-over point: {kq:.2e}"),
+            None => println!("cross-over point: beyond 1e24"),
+        }
+    }
+    println!();
+    println!("Paper shape: planar favored (ratio > 1) at small sizes; the parallel");
+    println!("IM application crosses over at a much larger computation size.");
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 9: the planar/double-defect favorability boundary
+//! for every application across physical error rates. Design points
+//! under a curve run better with planar codes.
+
+use scq_apps::Benchmark;
+use scq_estimate::{AppProfile, EstimateConfig};
+use scq_explore::favorability_boundary;
+
+fn main() {
+    let config = EstimateConfig::default();
+    let rates = [1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3];
+    println!("Figure 9: cross-over boundaries, 1/pL at which double-defect wins");
+    println!();
+    print!("{:<18}", "Application");
+    for r in rates {
+        print!(" {r:>9.0e}");
+    }
+    println!();
+    for bench in Benchmark::ALL {
+        let profile = AppProfile::calibrate(bench);
+        let line = favorability_boundary(&profile, &config, &rates, 1e24);
+        print!("{:<18}", line.app);
+        for (_, cross) in &line.points {
+            match cross {
+                Some(kq) => print!(" {kq:>9.1e}"),
+                None => print!(" {:>9}", ">1e24"),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!("Paper shape: boundaries sit higher for more parallel applications");
+    println!("(congestion hurts braids more) and rise as error rates improve");
+    println!("(left), growing the planar-favorable region.");
+}

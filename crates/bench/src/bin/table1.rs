@@ -1,0 +1,8 @@
+//! Regenerates Table 1: communication-efficiency tradeoffs between the
+//! two surface-code flavors.
+
+fn main() {
+    println!("Table 1: Summary of tradeoffs in communication efficiency");
+    println!();
+    print!("{}", scq_surface::comm_tradeoff_table());
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table 2: the benchmark applications and their measured
+//! parallelism factors (paper values: GSE 1.2, SQ 1.5, SHA-1 29, IM 66).
+
+use scq_apps::Benchmark;
+use scq_ir::analysis;
+
+fn main() {
+    println!("Table 2: Summary of studied quantum applications");
+    println!();
+    println!("{:<18} {:>8} {:>10} {:>8} {:>14} {:>12}", "Application", "Qubits", "Ops", "Depth", "Parallelism", "Paper value");
+    for bench in Benchmark::TABLE2 {
+        let stats = analysis::analyze(&bench.default_circuit());
+        println!(
+            "{:<18} {:>8} {:>10} {:>8} {:>14.1} {:>12.1}",
+            bench.name(),
+            stats.num_qubits,
+            stats.total_ops,
+            stats.depth,
+            stats.parallelism_factor,
+            bench.nominal_parallelism()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared harness code for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index):
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 — communication tradeoffs |
+//! | `table2` | Table 2 — application parallelism factors |
+//! | `fig6` | Figure 6 — braid policies: schedule/CP and utilization |
+//! | `fig7` | Figure 7 — absolute time and qubits vs computation size |
+//! | `fig8` | Figure 8 — normalized ratios and cross-over points |
+//! | `fig9` | Figure 9 — favorability boundaries over error rates |
+//! | `epr_pipelining` | Section 8.1 — JIT EPR window study |
+//!
+//! Run all of them with `scripts/run_all.sh` or individually via
+//! `cargo run --release -p scq-bench --bin <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scq_apps::{ising, sha1, square_root, Benchmark, IsingParams, Sha1Params, SqParams};
+use scq_braid::{schedule, BraidConfig, BraidSchedule, Policy};
+use scq_ir::{Circuit, DependencyDag, InteractionGraph};
+use scq_layout::place;
+
+/// Formats a row of fixed-width cells.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// The benchmark instances used for Figure 6: large enough to exhibit
+/// congestion, small enough to schedule under all seven policies in
+/// seconds.
+pub fn fig6_workloads() -> Vec<(Benchmark, Circuit)> {
+    vec![
+        (Benchmark::Gse, Benchmark::Gse.default_circuit()),
+        (
+            Benchmark::SquareRoot,
+            square_root(&SqParams {
+                bits: 5,
+                iterations: Some(3),
+                target: 9,
+            }),
+        ),
+        (
+            Benchmark::Sha1,
+            sha1(&Sha1Params {
+                word_bits: 16,
+                rounds: 8,
+            }),
+        ),
+        (
+            Benchmark::IsingFull,
+            ising(&IsingParams {
+                spins: 64,
+                trotter_steps: 4,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+/// Runs one circuit under one policy with the policy's paired layout —
+/// one bar of Figure 6.
+pub fn run_policy(circuit: &Circuit, policy: Policy, code_distance: u32) -> BraidSchedule {
+    let dag = DependencyDag::from_circuit(circuit);
+    let graph = InteractionGraph::from_circuit(circuit);
+    let layout = place(&graph, policy.layout_strategy(), None);
+    let config = BraidConfig {
+        policy,
+        code_distance,
+        ..Default::default()
+    };
+    schedule(circuit, &dag, &layout, &config).expect("figure 6 workloads schedule cleanly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formats_fixed_width() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn fig6_workloads_cover_the_parallelism_spectrum() {
+        let w = fig6_workloads();
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().all(|(_, c)| !c.is_empty()));
+    }
+
+    #[test]
+    fn run_policy_smoke() {
+        let mut b = Circuit::builder("smoke", 4);
+        b.cnot(0, 1).cnot(2, 3).cnot(1, 2);
+        let c = b.finish();
+        let s = run_policy(&c, Policy::P6, 3);
+        assert!(s.cycles >= s.critical_path_cycles);
+    }
+}

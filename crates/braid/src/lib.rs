@@ -1,0 +1,49 @@
+//! Braid scheduling and simulation for double-defect surface codes.
+//!
+//! This crate implements the paper's central contribution (Section 6):
+//! reducing the 3D topological braid-compaction problem to 2D static
+//! routing on a circuit-switched mesh, "simulating a mesh network, with
+//! braids as messages". Braids claim entire routes atomically (they
+//! stretch any distance in one cycle), hold them for `d` stabilization
+//! cycles, cannot cross, cannot be buffered, and cannot be prefetched —
+//! all four ways braids differ from classical messages.
+//!
+//! The scheduler maintains a ready queue of dependency-met operations and
+//! places as many braids as possible each cycle, ordered by one of the
+//! seven prioritization [`Policy`]s of Section 6.3. Routing escalates
+//! from dimension-ordered to adaptive, with drop/re-inject on starvation;
+//! because the result replays as a *static* schedule, deadlock freedom at
+//! runtime is free.
+//!
+//! # Examples
+//!
+//! ```
+//! use scq_braid::{schedule_circuit, BraidConfig, Policy};
+//! use scq_ir::Circuit;
+//!
+//! let mut b = Circuit::builder("ladder", 6);
+//! for i in 0..5 {
+//!     b.cnot(i, i + 1);
+//! }
+//! let config = BraidConfig {
+//!     policy: Policy::P6,
+//!     code_distance: 5,
+//!     ..Default::default()
+//! };
+//! let result = schedule_circuit(&b.finish(), &config).unwrap();
+//! assert!(result.cycles >= result.critical_path_cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod policy;
+mod scheduler;
+mod trace;
+
+pub use policy::Policy;
+pub use scheduler::{
+    factory_sites, op_latency_cycles, schedule, schedule_circuit, schedule_traced, BraidConfig,
+    BraidSchedule, ScheduleError, TGateModel,
+};
+pub use trace::{BraidEvent, BraidTrace, TraceConflict};

@@ -1,0 +1,866 @@
+//! The braid scheduling engine: message-passing simulation of braids on
+//! the circuit-switched tile mesh (paper Section 6.1).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+use scq_ir::{Circuit, DependencyDag, Gate};
+use scq_layout::Layout;
+use scq_mesh::{Coord, Mesh, Path};
+
+use crate::policy::{sort_candidates, Candidate, Policy};
+use crate::trace::{BraidEvent, BraidTrace};
+
+/// How T gates obtain their magic states.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TGateModel {
+    /// Magic states are braided in from edge factory tiles: each T gate
+    /// opens a braid leg from the nearest available factory (paper
+    /// Figure 3b: "dedicated factories supply magic states to
+    /// surrounding tiles").
+    #[default]
+    FactoryBraids,
+    /// Magic states are pre-buffered next to each data tile; T gates are
+    /// local. Isolates braid-contention effects from supply effects in
+    /// ablation studies.
+    LocalBuffered,
+}
+
+/// Configuration of one braid-scheduling run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BraidConfig {
+    /// Priority policy (paper Section 6.3).
+    pub policy: Policy,
+    /// Surface code distance `d`: braids hold their route for `d` cycles
+    /// per leg to stabilize syndromes.
+    pub code_distance: u32,
+    /// Failed-claim cycles before escalating from XY to YX routing
+    /// (twice this before adaptive routing).
+    pub route_timeout: u32,
+    /// Failed-claim cycles before the braid is dropped and re-injected.
+    pub drop_timeout: u32,
+    /// Number of magic-state factory sites; `None` derives one per two
+    /// grid columns (a top and bottom factory row, Figure 3b).
+    pub factory_count: Option<u32>,
+    /// Cycles a factory needs to produce one magic state.
+    pub magic_production_cycles: u32,
+    /// Magic-state supply model for T gates.
+    pub t_gate_model: TGateModel,
+    /// Hard cap on simulated cycles (guards against pathological runs).
+    pub max_cycles: u64,
+}
+
+impl Default for BraidConfig {
+    fn default() -> Self {
+        BraidConfig {
+            policy: Policy::P6,
+            code_distance: 9,
+            route_timeout: 4,
+            drop_timeout: 16,
+            factory_count: None,
+            magic_production_cycles: 1,
+            t_gate_model: TGateModel::FactoryBraids,
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+/// Uncontended latency of one logical operation in EC cycles: the unit
+/// costs of Figure 5 (two braid legs of `d + 1` cycles for two-qubit
+/// ops, one leg for a factory-supplied T, one cycle for local Cliffords).
+pub fn op_latency_cycles(gate: Gate, code_distance: u32, t_model: TGateModel) -> u64 {
+    let d = u64::from(code_distance);
+    if gate.is_two_qubit() {
+        2 * (d + 1)
+    } else if gate.needs_magic_state() {
+        match t_model {
+            TGateModel::FactoryBraids => d + 1,
+            TGateModel::LocalBuffered => 1,
+        }
+    } else {
+        1
+    }
+}
+
+/// Result of a braid-scheduling run — the quantities Figure 6 plots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BraidSchedule {
+    /// Total schedule length in EC cycles.
+    pub cycles: u64,
+    /// Dependency-limited lower bound (weighted critical path).
+    pub critical_path_cycles: u64,
+    /// Average fraction of busy mesh links (Figure 6, red curve).
+    pub mesh_utilization: f64,
+    /// Number of operations scheduled.
+    pub total_ops: usize,
+    /// Braid legs successfully placed.
+    pub braids_placed: u64,
+    /// Braid legs routed adaptively after timeouts.
+    pub adaptive_routes: u64,
+    /// Braids dropped and re-injected.
+    pub drops: u64,
+    /// Total hops over all placed braid legs.
+    pub total_braid_hops: u64,
+}
+
+impl BraidSchedule {
+    /// Schedule length over critical path — Figure 6's blue bars
+    /// (1.0 is optimal).
+    pub fn schedule_to_cp_ratio(&self) -> f64 {
+        if self.critical_path_cycles == 0 {
+            return 1.0;
+        }
+        self.cycles as f64 / self.critical_path_cycles as f64
+    }
+
+    /// Average braid leg length in hops.
+    pub fn avg_braid_hops(&self) -> f64 {
+        if self.braids_placed == 0 {
+            return 0.0;
+        }
+        self.total_braid_hops as f64 / self.braids_placed as f64
+    }
+}
+
+impl fmt::Display for BraidSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles (CP {}, ratio {:.2}), utilization {:.1}%",
+            self.cycles,
+            self.critical_path_cycles,
+            self.schedule_to_cp_ratio(),
+            self.mesh_utilization * 100.0
+        )
+    }
+}
+
+/// A braid-scheduling failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The run exceeded [`BraidConfig::max_cycles`].
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The layout does not cover the circuit's qubits.
+    LayoutMismatch {
+        /// Qubits in the circuit.
+        circuit_qubits: u32,
+        /// Qubits in the layout.
+        layout_qubits: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::CycleLimitExceeded { limit } => {
+                write!(f, "braid schedule exceeded the {limit}-cycle limit")
+            }
+            ScheduleError::LayoutMismatch {
+                circuit_qubits,
+                layout_qubits,
+            } => write!(
+                f,
+                "layout places {layout_qubits} qubits but the circuit uses {circuit_qubits}"
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpState {
+    /// Waiting on dependencies.
+    Blocked,
+    /// Dependencies met; first event not yet issued.
+    Ready,
+    /// Local op running (releases at a scheduled time).
+    Running,
+    /// First braid leg holds its route.
+    Leg1Held,
+    /// First leg released; second leg may open.
+    Leg2Ready,
+    /// Second braid leg holds its route.
+    Leg2Held,
+    /// Completed.
+    Done,
+}
+
+impl OpState {
+    fn started(self) -> bool {
+        !matches!(self, OpState::Blocked | OpState::Ready)
+    }
+}
+
+/// Evenly spreads `count` factory sites along the top and bottom router
+/// rows of a `mesh_w x mesh_h` mesh (the edge factory placement of
+/// Figure 3b). Duplicate positions collapse, so fewer sites may return.
+pub fn factory_sites(mesh_w: u32, mesh_h: u32, count: u32) -> Vec<Coord> {
+    let mut sites = Vec::new();
+    let top = count.div_ceil(2);
+    let bottom = count - top;
+    for (row, n) in [(0u32, top), (mesh_h - 1, bottom)] {
+        for i in 0..n {
+            let x = ((2 * u64::from(i) + 1) * u64::from(mesh_w - 1) / (2 * u64::from(n).max(1)))
+                as u32;
+            sites.push(Coord::new(x, row));
+        }
+    }
+    sites.sort();
+    sites.dedup();
+    sites
+}
+
+/// Schedules `circuit` on the tiled double-defect architecture.
+///
+/// Braids are simulated as circuit-switched messages: each braid leg
+/// atomically claims a route of routers and links on the mesh, holds it
+/// for `d` stabilization cycles, and releases it. Routing escalates from
+/// dimension-ordered XY to YX to fully adaptive BFS as a braid starves,
+/// and braids that starve past [`BraidConfig::drop_timeout`] are dropped
+/// and re-injected — the paper's forward-progress mechanisms, which are
+/// safe precisely because the resulting schedule is *static* (replayed
+/// verbatim on the machine, Section 6.1).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::LayoutMismatch`] if `layout` does not place
+/// every circuit qubit, and [`ScheduleError::CycleLimitExceeded`] if the
+/// simulation passes [`BraidConfig::max_cycles`].
+///
+/// # Panics
+///
+/// Panics if `dag` was not built from `circuit`.
+pub fn schedule(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    layout: &Layout,
+    config: &BraidConfig,
+) -> Result<BraidSchedule, ScheduleError> {
+    schedule_traced(circuit, dag, layout, config).map(|(s, _)| s)
+}
+
+/// Like [`schedule`], but also returns the [`BraidTrace`] — the static,
+/// replayable schedule artifact with every braid leg's route and
+/// open/close cycles. [`BraidTrace::validate`] proves it conflict-free.
+///
+/// # Errors
+///
+/// As [`schedule`].
+///
+/// # Panics
+///
+/// Panics if `dag` was not built from `circuit`.
+pub fn schedule_traced(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    layout: &Layout,
+    config: &BraidConfig,
+) -> Result<(BraidSchedule, BraidTrace), ScheduleError> {
+    assert_eq!(dag.len(), circuit.len(), "dag does not match circuit");
+    if layout.num_qubits() < circuit.num_qubits() as usize {
+        return Err(ScheduleError::LayoutMismatch {
+            circuit_qubits: circuit.num_qubits(),
+            layout_qubits: layout.num_qubits(),
+        });
+    }
+    let d = config.code_distance;
+    let n = circuit.len();
+
+    let critical_path_cycles = dag.weighted_critical_path(circuit, |_, inst| {
+        op_latency_cycles(inst.gate(), d, config.t_gate_model)
+    });
+    if n == 0 {
+        let empty = BraidSchedule {
+            cycles: 0,
+            critical_path_cycles: 0,
+            mesh_utilization: 0.0,
+            total_ops: 0,
+            braids_placed: 0,
+            adaptive_routes: 0,
+            drops: 0,
+            total_braid_hops: 0,
+        };
+        let trace = BraidTrace {
+            mesh_width: 2 * layout.grid_width().max(1) + 1,
+            mesh_height: 2 * layout.grid_height().max(1) + 1,
+            cycles: 0,
+            events: Vec::new(),
+        };
+        return Ok((empty, trace));
+    }
+
+    // Double-resolution mesh: tile (x, y) anchors at router (2x+1, 2y+1);
+    // even rows/columns are the braid channels between tiles.
+    let mesh_w = 2 * layout.grid_width() + 1;
+    let mesh_h = 2 * layout.grid_height() + 1;
+    let mut mesh = Mesh::new(mesh_w, mesh_h);
+    let anchor = |q: u32| {
+        let t = layout.tile(q);
+        Coord::new(2 * t.x + 1, 2 * t.y + 1)
+    };
+
+    let factory_count = config
+        .factory_count
+        .unwrap_or_else(|| layout.grid_width().max(2));
+    let factories = factory_sites(mesh_w, mesh_h, factory_count);
+    let mut factory_free_at: Vec<u64> = vec![0; factories.len()];
+
+    let mut state = vec![OpState::Blocked; n];
+    let mut remaining = vec![0u32; n];
+    for i in 0..n {
+        remaining[i] = dag.preds(i).len() as u32;
+        if remaining[i] == 0 {
+            state[i] = OpState::Ready;
+        }
+    }
+    let mut held_paths: Vec<Option<Path>> = vec![None; n];
+    let mut fail_count = vec![0u32; n];
+    let mut done_count = 0usize;
+
+    // (time, op, is_final_release)
+    let mut releases: BinaryHeap<Reverse<(u64, u32, bool)>> = BinaryHeap::new();
+    let mut events: Vec<BraidEvent> = Vec::new();
+
+    let mut stats = BraidSchedule {
+        cycles: 0,
+        critical_path_cycles,
+        mesh_utilization: 0.0,
+        total_ops: n,
+        braids_placed: 0,
+        adaptive_routes: 0,
+        drops: 0,
+        total_braid_hops: 0,
+    };
+
+    // Issue pointer for the in-order policies (0-2).
+    let mut next_start = 0usize;
+    // Criticality threshold for Policy 6's split length ordering: half
+    // the maximum criticality in the program.
+    let crit_threshold =
+        (0..n).map(|i| dag.criticality(i)).max().unwrap_or(0).div_ceil(2);
+
+    let hold = u64::from(d) + 1;
+    let mut t: u64 = 0;
+    loop {
+        if t > config.max_cycles {
+            return Err(ScheduleError::CycleLimitExceeded {
+                limit: config.max_cycles,
+            });
+        }
+
+        // ---- Release phase: closings are timer-driven. ----
+        while let Some(&Reverse((rt, op, is_final))) = releases.peek() {
+            if rt > t {
+                break;
+            }
+            releases.pop();
+            let op = op as usize;
+            if let Some(path) = held_paths[op].take() {
+                mesh.release(&path, op as u32);
+                let two_qubit = circuit.instructions()[op].gate().is_two_qubit();
+                events.push(BraidEvent {
+                    op: op as u32,
+                    leg: if is_final && two_qubit { 2 } else { 1 },
+                    open_cycle: rt - hold,
+                    close_cycle: rt,
+                    path,
+                });
+            }
+            if is_final {
+                state[op] = OpState::Done;
+                done_count += 1;
+                for &s in dag.succs(op) {
+                    let s = s as usize;
+                    remaining[s] -= 1;
+                    if remaining[s] == 0 {
+                        state[s] = OpState::Ready;
+                    }
+                }
+            } else {
+                state[op] = OpState::Leg2Ready;
+            }
+        }
+        if done_count == n {
+            stats.cycles = t;
+            break;
+        }
+
+        // ---- Issue phase. ----
+        let try_issue = |op: usize,
+                             leg: u8,
+                             mesh: &mut Mesh,
+                             state: &mut [OpState],
+                             fail_count: &mut [u32],
+                             held_paths: &mut [Option<Path>],
+                             releases: &mut BinaryHeap<Reverse<(u64, u32, bool)>>,
+                             factory_free_at: &mut [u64],
+                             stats: &mut BraidSchedule|
+         -> bool {
+            let inst = &circuit.instructions()[op];
+            let gate = inst.gate();
+            let local = !gate.is_two_qubit()
+                && (!gate.needs_magic_state()
+                    || config.t_gate_model != TGateModel::FactoryBraids);
+            if local {
+                state[op] = OpState::Running;
+                releases.push(Reverse((t + 1, op as u32, true)));
+                return true;
+            }
+            // Determine endpoints.
+            let (src, dst, factory_idx) = if gate.is_two_qubit() {
+                let qs = inst.qubits();
+                (anchor(qs[0].raw()), anchor(qs[1].raw()), None)
+            } else {
+                // T gate from the nearest available factory.
+                let target = anchor(inst.qubits()[0].raw());
+                let mut best: Option<(u32, usize)> = None;
+                for (fi, &site) in factories.iter().enumerate() {
+                    if factory_free_at[fi] > t {
+                        continue;
+                    }
+                    let dist = site.manhattan(target);
+                    if best.map(|(bd, _)| dist < bd).unwrap_or(true) {
+                        best = Some((dist, fi));
+                    }
+                }
+                match best {
+                    Some((_, fi)) => (factories[fi], target, Some(fi)),
+                    None => {
+                        fail_count[op] += 1;
+                        return false;
+                    }
+                }
+            };
+            // Route selection escalates with starvation.
+            let attempts = fail_count[op];
+            let path = if attempts <= config.route_timeout {
+                Some(mesh.route_xy(src, dst))
+            } else if attempts <= 2 * config.route_timeout {
+                Some(mesh.route_yx(src, dst))
+            } else {
+                stats.adaptive_routes += 1;
+                mesh.route_adaptive(src, dst, op as u32)
+            };
+            let claimed = match path {
+                Some(p) if mesh.try_claim(&p, op as u32) => Some(p),
+                _ => None,
+            };
+            match claimed {
+                Some(p) => {
+                    stats.braids_placed += 1;
+                    stats.total_braid_hops += p.len_hops() as u64;
+                    held_paths[op] = Some(p);
+                    fail_count[op] = 0;
+                    if let Some(fi) = factory_idx {
+                        factory_free_at[fi] = t + u64::from(config.magic_production_cycles);
+                    }
+                    let is_final = leg == 2 || !gate.is_two_qubit();
+                    releases.push(Reverse((t + hold, op as u32, is_final)));
+                    state[op] = if leg == 1 && gate.is_two_qubit() {
+                        OpState::Leg1Held
+                    } else {
+                        OpState::Leg2Held
+                    };
+                    true
+                }
+                None => {
+                    fail_count[op] += 1;
+                    if fail_count[op] > config.drop_timeout {
+                        // Drop and re-inject: restart the routing ladder.
+                        stats.drops += 1;
+                        fail_count[op] = 2 * config.route_timeout; // stay adaptive
+                    }
+                    false
+                }
+            }
+        };
+
+        match config.policy {
+            Policy::P0 => {
+                // Strict program order for operations *and* events: the
+                // global event sequence (op0.leg1, op0.leg2, op1.leg1,
+                // ...) issues strictly in order. Braids pipeline — the
+                // next event may issue while earlier braids stabilize —
+                // but no event ever overtakes an earlier one.
+                loop {
+                    while next_start < n && state[next_start].started() {
+                        // Ops whose *last* event has issued are passed;
+                        // an op holding its first leg still gates the
+                        // pointer (its leg-2 event is next in order).
+                        match state[next_start] {
+                            OpState::Running | OpState::Leg2Held | OpState::Done => {
+                                next_start += 1
+                            }
+                            _ => break,
+                        }
+                    }
+                    if next_start >= n {
+                        break;
+                    }
+                    let op = next_start;
+                    let issued = match state[op] {
+                        OpState::Ready => try_issue(
+                            op, 1, &mut mesh, &mut state, &mut fail_count,
+                            &mut held_paths, &mut releases, &mut factory_free_at,
+                            &mut stats,
+                        ),
+                        OpState::Leg2Ready => try_issue(
+                            op, 2, &mut mesh, &mut state, &mut fail_count,
+                            &mut held_paths, &mut releases, &mut factory_free_at,
+                            &mut stats,
+                        ),
+                        _ => false,
+                    };
+                    if !issued {
+                        break;
+                    }
+                }
+            }
+            Policy::P1 | Policy::P2 => {
+                // Events interleave: all pending second legs may open.
+                for op in 0..n {
+                    if state[op] == OpState::Leg2Ready {
+                        let _ = try_issue(
+                            op, 2, &mut mesh, &mut state, &mut fail_count,
+                            &mut held_paths, &mut releases, &mut factory_free_at,
+                            &mut stats,
+                        );
+                    }
+                }
+                // Operations start in program order; stop at the first
+                // blocked or unplaceable op.
+                while next_start < n && state[next_start].started() {
+                    next_start += 1;
+                }
+                let mut idx = next_start;
+                while idx < n {
+                    match state[idx] {
+                        OpState::Blocked => break,
+                        OpState::Ready => {
+                            let ok = try_issue(
+                                idx, 1, &mut mesh, &mut state, &mut fail_count,
+                                &mut held_paths, &mut releases, &mut factory_free_at,
+                                &mut stats,
+                            );
+                            if !ok {
+                                break;
+                            }
+                            idx += 1;
+                        }
+                        _ => idx += 1, // already in flight
+                    }
+                }
+            }
+            _ => {
+                // Policies 3-6: free-for-all ordered by the priority
+                // comparator; place as many braids as possible.
+                let mut candidates: Vec<Candidate> = Vec::new();
+                for (op, &op_state) in state.iter().enumerate() {
+                    let leg = match op_state {
+                        OpState::Ready => 1,
+                        OpState::Leg2Ready => 2,
+                        _ => continue,
+                    };
+                    let inst = &circuit.instructions()[op];
+                    let length = if inst.gate().is_two_qubit() {
+                        let qs = inst.qubits();
+                        anchor(qs[0].raw()).manhattan(anchor(qs[1].raw()))
+                    } else {
+                        0
+                    };
+                    candidates.push(Candidate {
+                        op: op as u32,
+                        leg,
+                        criticality: dag.criticality(op),
+                        length,
+                    });
+                }
+                sort_candidates(config.policy, &mut candidates, crit_threshold);
+                for c in candidates {
+                    let _ = try_issue(
+                        c.op as usize, c.leg, &mut mesh, &mut state, &mut fail_count,
+                        &mut held_paths, &mut releases, &mut factory_free_at,
+                        &mut stats,
+                    );
+                }
+            }
+        }
+
+        mesh.tick();
+        t += 1;
+    }
+
+    stats.mesh_utilization = mesh.utilization();
+    let trace = BraidTrace {
+        mesh_width: mesh_w,
+        mesh_height: mesh_h,
+        cycles: stats.cycles,
+        events,
+    };
+    Ok((stats, trace))
+}
+
+/// Convenience wrapper: builds the DAG, places the qubits with the
+/// layout strategy the policy pairs with, and schedules.
+///
+/// # Errors
+///
+/// As [`schedule`].
+pub fn schedule_circuit(
+    circuit: &Circuit,
+    config: &BraidConfig,
+) -> Result<BraidSchedule, ScheduleError> {
+    let dag = DependencyDag::from_circuit(circuit);
+    let graph = scq_ir::InteractionGraph::from_circuit(circuit);
+    let layout = scq_layout::place(&graph, config.policy.layout_strategy(), None);
+    schedule(circuit, &dag, &layout, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_ir::InteractionGraph;
+    use scq_layout::{place, LayoutStrategy};
+
+    fn run(circuit: &Circuit, policy: Policy, d: u32) -> BraidSchedule {
+        let config = BraidConfig {
+            policy,
+            code_distance: d,
+            ..Default::default()
+        };
+        schedule_circuit(circuit, &config).expect("schedule succeeds")
+    }
+
+    fn single_cnot() -> Circuit {
+        let mut b = Circuit::builder("one-cnot", 2);
+        b.cnot(0, 1);
+        b.finish()
+    }
+
+    #[test]
+    fn empty_circuit_is_zero_cycles() {
+        let c = Circuit::builder("empty", 4).finish();
+        let s = run(&c, Policy::P6, 5);
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.schedule_to_cp_ratio(), 1.0);
+    }
+
+    #[test]
+    fn uncontended_cnot_matches_critical_path() {
+        for d in [3u32, 5, 9] {
+            let s = run(&single_cnot(), Policy::P6, d);
+            assert_eq!(s.critical_path_cycles, u64::from(2 * (d + 1)));
+            assert_eq!(s.cycles, s.critical_path_cycles, "d={d}");
+            assert_eq!(s.braids_placed, 2);
+        }
+    }
+
+    #[test]
+    fn local_ops_cost_one_cycle() {
+        let mut b = Circuit::builder("locals", 1);
+        b.h(0).s(0).z(0);
+        let s = run(&b.finish(), Policy::P6, 5);
+        assert_eq!(s.cycles, 3);
+        assert_eq!(s.braids_placed, 0);
+    }
+
+    #[test]
+    fn t_gate_braids_from_factory() {
+        let mut b = Circuit::builder("t", 1);
+        b.t(0);
+        let s = run(&b.finish(), Policy::P6, 5);
+        assert_eq!(s.braids_placed, 1);
+        assert_eq!(s.critical_path_cycles, 6);
+        // Uncontended: schedule equals CP.
+        assert_eq!(s.cycles, 6);
+    }
+
+    #[test]
+    fn buffered_t_gates_are_local() {
+        let mut b = Circuit::builder("t", 1);
+        b.t(0);
+        let config = BraidConfig {
+            code_distance: 5,
+            t_gate_model: TGateModel::LocalBuffered,
+            ..Default::default()
+        };
+        let s = schedule_circuit(&b.finish(), &config).unwrap();
+        assert_eq!(s.braids_placed, 0);
+        assert_eq!(s.cycles, 1);
+    }
+
+    #[test]
+    fn parallel_disjoint_cnots_overlap() {
+        // Two CNOTs on disjoint qubit pairs: with any interleaving
+        // policy they run concurrently.
+        let mut b = Circuit::builder("par", 4);
+        b.cnot(0, 1).cnot(2, 3);
+        let c = b.finish();
+        let s = run(&c, Policy::P6, 5);
+        assert_eq!(s.critical_path_cycles, 12);
+        assert!(
+            s.cycles <= s.critical_path_cycles + 2,
+            "parallel cnots took {} cycles",
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn policy0_serializes_events() {
+        let mut b = Circuit::builder("par", 4);
+        b.cnot(0, 1).cnot(2, 3);
+        let s = run(&b.finish(), Policy::P0, 5);
+        // Strict event order: the second op's first leg cannot open
+        // until the first op's second leg has opened (one leg = d+1 = 6
+        // cycles), even though the pairs are disjoint. CP is 12.
+        assert_eq!(s.critical_path_cycles, 12);
+        assert!(
+            s.cycles >= s.critical_path_cycles + 6,
+            "policy 0 overlapped fully: {} cycles",
+            s.cycles
+        );
+        // Policy 6 runs the two ops fully in parallel.
+        let p6 = run(&{
+            let mut b = Circuit::builder("par", 4);
+            b.cnot(0, 1).cnot(2, 3);
+            b.finish()
+        }, Policy::P6, 5);
+        assert!(p6.cycles < s.cycles);
+    }
+
+    #[test]
+    fn dependent_cnots_serialize_under_all_policies() {
+        let mut b = Circuit::builder("chain", 3);
+        b.cnot(0, 1).cnot(1, 2);
+        let c = b.finish();
+        for policy in Policy::ALL {
+            let s = run(&c, policy, 3);
+            assert!(
+                s.cycles >= s.critical_path_cycles,
+                "{policy}: {} < CP {}",
+                s.cycles,
+                s.critical_path_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_never_beats_critical_path() {
+        let c = contended_circuit();
+        for policy in Policy::ALL {
+            let s = run(&c, policy, 3);
+            assert!(s.cycles >= s.critical_path_cycles, "{policy}");
+        }
+    }
+
+    /// Many braids across the same region: heavy contention.
+    fn contended_circuit() -> Circuit {
+        let n = 16;
+        let mut b = Circuit::builder("contended", n);
+        for i in 0..n / 2 {
+            b.cnot(i, n - 1 - i);
+        }
+        for i in 0..n / 2 {
+            b.cnot(i, (i + n / 2) % n);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn better_policies_do_not_hurt_contended_runs() {
+        let c = contended_circuit();
+        let p0 = run(&c, Policy::P0, 3);
+        let p6 = run(&c, Policy::P6, 3);
+        assert!(
+            p6.cycles <= p0.cycles,
+            "P6 ({}) slower than P0 ({})",
+            p6.cycles,
+            p0.cycles
+        );
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let s = run(&contended_circuit(), Policy::P6, 3);
+        assert!(s.mesh_utilization > 0.0 && s.mesh_utilization < 1.0);
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let config = BraidConfig {
+            max_cycles: 3,
+            ..Default::default()
+        };
+        let err = schedule_circuit(&contended_circuit(), &config).unwrap_err();
+        assert!(matches!(err, ScheduleError::CycleLimitExceeded { limit: 3 }));
+        assert!(err.to_string().contains("3-cycle"));
+    }
+
+    #[test]
+    fn layout_mismatch_is_detected() {
+        let small = Circuit::builder("small", 2).finish();
+        let g = InteractionGraph::from_circuit(&small);
+        let layout = place(&g, LayoutStrategy::Linear, None);
+        let big = single_cnot(); // 2 qubits, fits
+        assert!(schedule(
+            &big,
+            &DependencyDag::from_circuit(&big),
+            &layout,
+            &BraidConfig::default()
+        )
+        .is_ok());
+        let mut bigger = Circuit::builder("big", 5);
+        bigger.cnot(0, 4);
+        let bigger = bigger.finish();
+        let err = schedule(
+            &bigger,
+            &DependencyDag::from_circuit(&bigger),
+            &layout,
+            &BraidConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScheduleError::LayoutMismatch { .. }));
+    }
+
+    #[test]
+    fn factory_sites_are_on_edge_rows() {
+        let sites = factory_sites(21, 21, 10);
+        assert!(!sites.is_empty());
+        for s in &sites {
+            assert!(s.y == 0 || s.y == 20, "site {s} not on an edge row");
+            assert!(s.x < 21);
+        }
+    }
+
+    #[test]
+    fn factory_sites_handle_tiny_counts() {
+        let sites = factory_sites(5, 5, 1);
+        assert_eq!(sites.len(), 1);
+        let sites = factory_sites(5, 5, 2);
+        assert!(!sites.is_empty());
+    }
+
+    #[test]
+    fn op_latency_model() {
+        assert_eq!(op_latency_cycles(Gate::Cnot, 5, TGateModel::FactoryBraids), 12);
+        assert_eq!(op_latency_cycles(Gate::T, 5, TGateModel::FactoryBraids), 6);
+        assert_eq!(op_latency_cycles(Gate::T, 5, TGateModel::LocalBuffered), 1);
+        assert_eq!(op_latency_cycles(Gate::H, 5, TGateModel::FactoryBraids), 1);
+        assert_eq!(op_latency_cycles(Gate::MeasZ, 5, TGateModel::FactoryBraids), 1);
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = run(&single_cnot(), Policy::P6, 3);
+        let text = s.to_string();
+        assert!(text.contains("cycles"), "{text}");
+        assert!(text.contains("ratio"), "{text}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests: the braid scheduler must produce valid
+//! schedules (bounded below by the critical path, deterministic, and
+//! policy-safe) for arbitrary circuits.
+
+use proptest::prelude::*;
+use scq_braid::{schedule_circuit, BraidConfig, Policy};
+use scq_ir::{Circuit, Gate};
+
+/// Arbitrary small circuit with a healthy mix of local ops, CNOTs, and
+/// T gates.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (3u32..10)
+        .prop_flat_map(|n| {
+            let inst = (0usize..5, 0..n, 0..n.saturating_sub(1).max(1));
+            (Just(n), proptest::collection::vec(inst, 1..60))
+        })
+        .prop_map(|(n, raw)| {
+            let mut b = Circuit::builder("prop", n);
+            for (kind, a, off) in raw {
+                match kind {
+                    0 => {
+                        b.h(a);
+                    }
+                    1 => {
+                        b.t(a);
+                    }
+                    2 => {
+                        b.s(a);
+                    }
+                    _ => {
+                        let second = (a + 1 + off) % n;
+                        if second != a {
+                            b.try_push(Gate::Cnot, &[a, second]).unwrap();
+                        }
+                    }
+                }
+            }
+            b.finish()
+        })
+}
+
+fn config(policy: Policy) -> BraidConfig {
+    BraidConfig {
+        policy,
+        code_distance: 3,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_never_beats_critical_path(c in arb_circuit()) {
+        for policy in [Policy::P0, Policy::P1, Policy::P3, Policy::P6] {
+            let s = schedule_circuit(&c, &config(policy)).unwrap();
+            prop_assert!(
+                s.cycles >= s.critical_path_cycles,
+                "{policy}: {} < {}", s.cycles, s.critical_path_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn all_ops_complete(c in arb_circuit()) {
+        let s = schedule_circuit(&c, &config(Policy::P6)).unwrap();
+        prop_assert_eq!(s.total_ops, c.len());
+        // Every 2q op places exactly two braid legs; every T places one.
+        let expected = 2 * c.two_qubit_count() as u64 + c.t_count() as u64;
+        prop_assert_eq!(s.braids_placed, expected);
+    }
+
+    #[test]
+    fn scheduling_is_deterministic(c in arb_circuit()) {
+        let a = schedule_circuit(&c, &config(Policy::P6)).unwrap();
+        let b = schedule_circuit(&c, &config(Policy::P6)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_distance_never_shortens_schedules(c in arb_circuit()) {
+        let d3 = schedule_circuit(&c, &BraidConfig {
+            code_distance: 3,
+            ..Default::default()
+        }).unwrap();
+        let d7 = schedule_circuit(&c, &BraidConfig {
+            code_distance: 7,
+            ..Default::default()
+        }).unwrap();
+        prop_assert!(d7.cycles >= d3.cycles, "{} < {}", d7.cycles, d3.cycles);
+    }
+
+    #[test]
+    fn utilization_in_unit_interval(c in arb_circuit()) {
+        let s = schedule_circuit(&c, &config(Policy::P4)).unwrap();
+        prop_assert!(s.mesh_utilization >= 0.0 && s.mesh_utilization <= 1.0);
+    }
+
+    #[test]
+    fn serial_chain_has_tight_schedule(len in 1usize..20) {
+        // A pure dependency chain on two qubits: no contention is
+        // possible, so every policy should sit exactly on the CP.
+        let mut b = Circuit::builder("chain", 2);
+        for i in 0..len {
+            if i % 2 == 0 {
+                b.cnot(0, 1);
+            } else {
+                b.h(0);
+            }
+        }
+        let c = b.finish();
+        let s = schedule_circuit(&c, &config(Policy::P6)).unwrap();
+        prop_assert_eq!(s.cycles, s.critical_path_cycles);
+    }
+}

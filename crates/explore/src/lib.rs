@@ -1,0 +1,296 @@
+//! Design-space exploration: the sweeps behind Figures 7, 8, and 9.
+//!
+//! The paper's headline deliverable is a *favorability map*: for every
+//! combination of application, computation size (`1/pL`), and physical
+//! error rate (`pP`), which surface-code encoding costs less space-time?
+//! This crate drives the calibrated estimator of `scq-estimate` across
+//! those axes:
+//!
+//! - [`sweep_computation_sizes`]: absolute time and qubits per encoding
+//!   (Figure 7),
+//! - [`ratio_sweep`]: double-defect/planar normalized resources
+//!   (Figure 8),
+//! - [`crossover_size`]: the computation size where the space-time
+//!   product favors double-defect codes,
+//! - [`favorability_boundary`]: the crossover line across physical error
+//!   rates (Figure 9).
+//!
+//! # Examples
+//!
+//! ```
+//! use scq_apps::Benchmark;
+//! use scq_estimate::{AppProfile, EstimateConfig};
+//! use scq_explore::{crossover_size, log_spaced};
+//!
+//! let profile = AppProfile::calibrate(Benchmark::Gse);
+//! let cross = crossover_size(&profile, &EstimateConfig::default(), (1.0, 1e24));
+//! // GSE is serial: the crossover exists somewhere in the sweep.
+//! assert!(cross.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scq_estimate::{estimate_both, AppProfile, EstimateConfig, ResourceEstimate};
+
+/// One point of the Figure 7 absolute-resource sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Computation size (`1/pL`, logical ops).
+    pub kq: f64,
+    /// Planar estimate.
+    pub planar: ResourceEstimate,
+    /// Double-defect estimate.
+    pub double_defect: ResourceEstimate,
+}
+
+/// One point of the Figure 8 normalized-ratio sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RatioPoint {
+    /// Computation size.
+    pub kq: f64,
+    /// Double-defect physical qubits over planar physical qubits.
+    pub qubit_ratio: f64,
+    /// Double-defect seconds over planar seconds.
+    pub time_ratio: f64,
+}
+
+impl RatioPoint {
+    /// The favorability metric: `qubits x time` ratio. Values above 1
+    /// favor planar codes; the crossover is where this reaches 1.
+    pub fn space_time_ratio(&self) -> f64 {
+        self.qubit_ratio * self.time_ratio
+    }
+}
+
+/// Logarithmically spaced values from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo <= hi` and `n >= 2`.
+pub fn log_spaced(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && lo <= hi, "need 0 < lo <= hi");
+    assert!(n >= 2, "need at least two points");
+    let (llo, lhi) = (lo.log10(), hi.log10());
+    (0..n)
+        .map(|i| 10f64.powf(llo + (lhi - llo) * i as f64 / (n - 1) as f64))
+        .collect()
+}
+
+/// Sweeps absolute resources over computation sizes (Figure 7). Sizes
+/// the technology cannot support (above threshold) are skipped.
+pub fn sweep_computation_sizes(
+    profile: &AppProfile,
+    config: &EstimateConfig,
+    sizes: &[f64],
+) -> Vec<SweepPoint> {
+    sizes
+        .iter()
+        .filter_map(|&kq| {
+            estimate_both(profile, kq, config)
+                .ok()
+                .map(|(planar, double_defect)| SweepPoint {
+                    kq,
+                    planar,
+                    double_defect,
+                })
+        })
+        .collect()
+}
+
+/// Sweeps the double-defect/planar resource ratios (Figure 8).
+pub fn ratio_sweep(
+    profile: &AppProfile,
+    config: &EstimateConfig,
+    sizes: &[f64],
+) -> Vec<RatioPoint> {
+    sweep_computation_sizes(profile, config, sizes)
+        .into_iter()
+        .map(|p| RatioPoint {
+            kq: p.kq,
+            qubit_ratio: p.double_defect.physical_qubits / p.planar.physical_qubits,
+            time_ratio: p.double_defect.seconds / p.planar.seconds,
+        })
+        .collect()
+}
+
+/// Finds the smallest computation size in `range` at which the
+/// space-time product favors double-defect codes (ratio <= 1), the
+/// "cross-over point" of Figures 8 and 9.
+///
+/// Scans a log grid, then bisects the bracketing interval. Returns
+/// `None` when planar stays favorable across the whole range (the
+/// boundary is off the top of the chart) or the technology is above
+/// threshold.
+pub fn crossover_size(
+    profile: &AppProfile,
+    config: &EstimateConfig,
+    range: (f64, f64),
+) -> Option<f64> {
+    let ratio = |kq: f64| -> Option<f64> {
+        estimate_both(profile, kq, config)
+            .ok()
+            .map(|(p, dd)| dd.space_time() / p.space_time())
+    };
+    let grid = log_spaced(range.0.max(1.0), range.1, 97);
+    let mut prev: Option<(f64, f64)> = None;
+    for &kq in &grid {
+        let Some(r) = ratio(kq) else { continue };
+        if r <= 1.0 {
+            let (mut lo, mut hi) = match prev {
+                Some((pk, _)) => (pk, kq),
+                None => return Some(kq), // favorable from the start
+            };
+            for _ in 0..60 {
+                let mid = (0.5 * (lo.ln() + hi.ln())).exp();
+                match ratio(mid) {
+                    Some(rm) if rm <= 1.0 => hi = mid,
+                    _ => lo = mid,
+                }
+            }
+            return Some(hi);
+        }
+        prev = Some((kq, r));
+    }
+    None
+}
+
+/// One application's crossover boundary across physical error rates —
+/// one line of Figure 9.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FavorabilityLine {
+    /// Application name.
+    pub app: String,
+    /// `(p_physical, crossover computation size)` pairs; `None` when no
+    /// crossover exists below `max_kq` (planar favored everywhere).
+    pub points: Vec<(f64, Option<f64>)>,
+}
+
+/// Computes an application's Figure 9 boundary line: for each physical
+/// error rate, the computation size at which double-defect codes start
+/// to win.
+pub fn favorability_boundary(
+    profile: &AppProfile,
+    config: &EstimateConfig,
+    error_rates: &[f64],
+    max_kq: f64,
+) -> FavorabilityLine {
+    let points = error_rates
+        .iter()
+        .map(|&p| {
+            let cfg = EstimateConfig {
+                technology: config.technology.with_error_rate(p),
+                ..*config
+            };
+            (p, crossover_size(profile, &cfg, (1.0, max_kq)))
+        })
+        .collect();
+    FavorabilityLine {
+        app: profile.name.clone(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_apps::Benchmark;
+
+    fn profile(bench: Benchmark) -> AppProfile {
+        AppProfile::calibrate(bench)
+    }
+
+    #[test]
+    fn log_spaced_endpoints_and_monotonicity() {
+        let v = log_spaced(1.0, 1e6, 7);
+        assert_eq!(v.len(), 7);
+        assert!((v[0] - 1.0).abs() < 1e-9);
+        assert!((v[6] - 1e6).abs() < 1e-3);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert!((v[1] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo <= hi")]
+    fn log_spaced_rejects_bad_range() {
+        let _ = log_spaced(10.0, 1.0, 3);
+    }
+
+    #[test]
+    fn sweep_grows_monotonically_in_time() {
+        let p = profile(Benchmark::Gse);
+        let cfg = EstimateConfig::default();
+        let pts = sweep_computation_sizes(&p, &cfg, &log_spaced(1e2, 1e20, 10));
+        assert_eq!(pts.len(), 10);
+        for w in pts.windows(2) {
+            assert!(w[0].planar.seconds < w[1].planar.seconds);
+            assert!(w[0].double_defect.seconds < w[1].double_defect.seconds);
+            assert!(w[0].planar.physical_qubits <= w[1].planar.physical_qubits);
+        }
+    }
+
+    #[test]
+    fn qubit_ratio_favors_planar() {
+        // "Planar tiles are smaller": the qubit ratio stays above 1.
+        let p = profile(Benchmark::SquareRoot);
+        let pts = ratio_sweep(&p, &EstimateConfig::default(), &log_spaced(1e2, 1e20, 8));
+        for pt in &pts {
+            assert!(pt.qubit_ratio > 1.0, "kq={}: {}", pt.kq, pt.qubit_ratio);
+        }
+    }
+
+    #[test]
+    fn time_ratio_declines_with_size() {
+        let p = profile(Benchmark::SquareRoot);
+        let pts = ratio_sweep(&p, &EstimateConfig::default(), &log_spaced(1e2, 1e22, 8));
+        let first = pts.first().unwrap().time_ratio;
+        let last = pts.last().unwrap().time_ratio;
+        assert!(
+            last < first,
+            "time ratio did not decline: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn serial_crossover_exists_and_is_refined() {
+        let p = profile(Benchmark::Gse);
+        let cfg = EstimateConfig::default();
+        let cross = crossover_size(&p, &cfg, (1.0, 1e24)).expect("GSE crosses");
+        assert!(cross > 1.0 && cross < 1e24);
+        // Verify the bracketing: just above the crossover double-defect
+        // is no worse than planar (within refinement tolerance).
+        let (pl, dd) = estimate_both(&p, cross * 1.1, &cfg).unwrap();
+        assert!(dd.space_time() <= pl.space_time() * 1.05);
+    }
+
+    #[test]
+    fn parallel_apps_cross_later_than_serial() {
+        let cfg = EstimateConfig::default();
+        let serial = crossover_size(&profile(Benchmark::Gse), &cfg, (1.0, 1e24));
+        let parallel = crossover_size(&profile(Benchmark::IsingFull), &cfg, (1.0, 1e24));
+        match (serial, parallel) {
+            (Some(s), Some(p)) => assert!(s < p, "serial {s:.2e} !< parallel {p:.2e}"),
+            (Some(_), None) => {} // parallel never crosses: even stronger
+            other => panic!("unexpected crossover pattern: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_line_has_one_point_per_error_rate() {
+        let p = profile(Benchmark::Gse);
+        let rates = [1e-8, 1e-6, 1e-4, 1e-3];
+        let line = favorability_boundary(&p, &EstimateConfig::default(), &rates, 1e24);
+        assert_eq!(line.points.len(), 4);
+        assert_eq!(line.app, "GSE");
+        for (rate, _) in &line.points {
+            assert!(*rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn above_threshold_rates_yield_no_crossover() {
+        let p = profile(Benchmark::Gse);
+        let line = favorability_boundary(&p, &EstimateConfig::default(), &[0.5], 1e24);
+        assert_eq!(line.points[0].1, None);
+    }
+}

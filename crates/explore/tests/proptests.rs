@@ -1,0 +1,96 @@
+//! Property-based tests over the design-space explorer: crossover
+//! bracketing and sweep consistency for randomized application profiles.
+
+use proptest::prelude::*;
+use scq_estimate::{estimate_both, AppProfile, EstimateConfig, LogicalScaling};
+use scq_explore::{crossover_size, log_spaced, ratio_sweep, sweep_computation_sizes};
+
+/// Arbitrary plausible application profile.
+fn arb_profile() -> impl Strategy<Value = AppProfile> {
+    (
+        1.0f64..80.0,   // parallelism
+        0.05f64..0.5,   // frac 2q
+        0.05f64..0.4,   // frac T
+        1.0f64..3.0,    // braid congestion
+        0.1f64..1.0,    // kappa
+        0.3f64..0.7,    // qubit-scaling exponent
+    )
+        .prop_map(|(p, f2, ft, c, k, b)| AppProfile {
+            name: "prop".into(),
+            parallelism: p,
+            frac_two_qubit: f2,
+            frac_t: ft.min(0.9 - f2),
+            braid_congestion: c,
+            layout_kappa: k,
+            scaling: LogicalScaling::Power { a: 1.0, b, c: 2.0 },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn estimates_exist_and_are_positive(profile in arb_profile(), exp in 1u32..22) {
+        let kq = 10f64.powi(exp as i32);
+        let (planar, dd) = estimate_both(&profile, kq, &EstimateConfig::default()).unwrap();
+        prop_assert!(planar.physical_qubits > 0.0 && planar.seconds > 0.0);
+        prop_assert!(dd.physical_qubits > 0.0 && dd.seconds > 0.0);
+        prop_assert!(planar.code_distance >= 3 && planar.code_distance % 2 == 1);
+        prop_assert_eq!(planar.code_distance, dd.code_distance);
+    }
+
+    #[test]
+    fn time_grows_with_computation_size(profile in arb_profile()) {
+        let cfg = EstimateConfig::default();
+        let pts = sweep_computation_sizes(&profile, &cfg, &log_spaced(1e2, 1e20, 7));
+        for w in pts.windows(2) {
+            prop_assert!(w[1].planar.seconds > w[0].planar.seconds);
+            prop_assert!(w[1].double_defect.seconds > w[0].double_defect.seconds);
+        }
+    }
+
+    #[test]
+    fn crossover_brackets_the_favorability_flip(profile in arb_profile()) {
+        let cfg = EstimateConfig::default();
+        if let Some(kq) = crossover_size(&profile, &cfg, (1.0, 1e24)) {
+            prop_assert!(kq >= 1.0 && kq <= 1e24);
+            // Just above the crossover, double-defect is no worse
+            // (within refinement tolerance).
+            let (p, dd) = estimate_both(&profile, kq * 1.05, &cfg).unwrap();
+            prop_assert!(
+                dd.space_time() <= p.space_time() * 1.10,
+                "ratio {} just above crossover", dd.space_time() / p.space_time()
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_points_are_finite_and_positive(profile in arb_profile()) {
+        let pts = ratio_sweep(&profile, &EstimateConfig::default(), &log_spaced(1e2, 1e22, 6));
+        for pt in pts {
+            prop_assert!(pt.qubit_ratio.is_finite() && pt.qubit_ratio > 0.0);
+            prop_assert!(pt.time_ratio.is_finite() && pt.time_ratio > 0.0);
+            prop_assert!(
+                (pt.space_time_ratio() - pt.qubit_ratio * pt.time_ratio).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn higher_braid_congestion_never_delays_crossover(profile in arb_profile()) {
+        // More congested braids can only make double-defect *less*
+        // attractive: the crossover moves to larger sizes (or vanishes).
+        let cfg = EstimateConfig::default();
+        let calm = crossover_size(&profile, &cfg, (1.0, 1e24));
+        let congested_profile = AppProfile {
+            braid_congestion: profile.braid_congestion * 2.0,
+            ..profile.clone()
+        };
+        let congested = crossover_size(&congested_profile, &cfg, (1.0, 1e24));
+        match (calm, congested) {
+            (Some(a), Some(b)) => prop_assert!(b >= a * 0.99, "{b:.3e} < {a:.3e}"),
+            (None, Some(_)) => prop_assert!(false, "congestion created a crossover"),
+            _ => {}
+        }
+    }
+}

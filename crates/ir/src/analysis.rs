@@ -1,0 +1,188 @@
+//! Logical-level resource and parallelism estimation.
+//!
+//! This module implements the frontend analyses of the paper's toolflow
+//! (Figure 4, "Logical-Level Analysis"): the logical operation count that
+//! fixes the target logical error rate, and the parallelism estimate that
+//! guides the backend network-optimization policy and QEC choice.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::dag::DependencyDag;
+use crate::gate::Gate;
+
+/// Summary statistics of a logical circuit.
+///
+/// Produced by [`analyze`]; this is the data Table 2 of the paper reports
+/// per application, plus the logical-op total used to derive the target
+/// logical error rate `pL = 1/(2*KQ)` (paper Section 2.2).
+///
+/// # Examples
+///
+/// ```
+/// use scq_ir::{analysis, Circuit};
+///
+/// let mut b = Circuit::builder("demo", 2);
+/// b.h(0).h(1).cnot(0, 1).t(1);
+/// let stats = analysis::analyze(&b.finish());
+///
+/// assert_eq!(stats.total_ops, 4);
+/// assert_eq!(stats.t_count, 1);
+/// assert_eq!(stats.depth, 3);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of logical qubits.
+    pub num_qubits: u32,
+    /// Total logical operation count ("KQ", the size of computation).
+    pub total_ops: usize,
+    /// Instructions per gate kind.
+    pub gate_histogram: BTreeMap<Gate, usize>,
+    /// Number of magic-state-consuming (T/Tdg) ops.
+    pub t_count: usize,
+    /// Number of two-qubit (communication-inducing) ops.
+    pub two_qubit_ops: usize,
+    /// Critical-path length in ops.
+    pub depth: usize,
+    /// Ideal parallelism factor: `total_ops / depth` (paper Table 2).
+    pub parallelism_factor: f64,
+    /// Largest number of ops sharing one ASAP level (peak ideal width).
+    pub max_width: usize,
+}
+
+impl CircuitStats {
+    /// Target logical error rate per operation for a 50% overall success
+    /// probability: `pL = 0.5 / total_ops` (paper Section 2.2).
+    ///
+    /// Returns 0.5 for an empty circuit (a single trivial "operation").
+    pub fn target_logical_error_rate(&self) -> f64 {
+        0.5 / (self.total_ops.max(1) as f64)
+    }
+
+    /// The "size of computation" axis used throughout the paper's
+    /// evaluation: `1 / pL`.
+    pub fn computation_size(&self) -> f64 {
+        1.0 / self.target_logical_error_rate()
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} qubits, {} ops (T: {}, 2q: {}), depth {}, parallelism {:.1}",
+            self.name,
+            self.num_qubits,
+            self.total_ops,
+            self.t_count,
+            self.two_qubit_ops,
+            self.depth,
+            self.parallelism_factor
+        )
+    }
+}
+
+/// Analyzes a circuit, computing the statistics the backend consumes.
+///
+/// Builds a fresh [`DependencyDag`]; prefer [`analyze_with_dag`] when the
+/// caller already has one.
+pub fn analyze(circuit: &Circuit) -> CircuitStats {
+    let dag = DependencyDag::from_circuit(circuit);
+    analyze_with_dag(circuit, &dag)
+}
+
+/// Like [`analyze`] but reuses a precomputed DAG.
+///
+/// # Panics
+///
+/// Panics if `dag` was not built from `circuit`.
+pub fn analyze_with_dag(circuit: &Circuit, dag: &DependencyDag) -> CircuitStats {
+    assert_eq!(circuit.len(), dag.len(), "dag does not match circuit");
+    let mut gate_histogram = BTreeMap::new();
+    for inst in circuit {
+        *gate_histogram.entry(inst.gate()).or_insert(0) += 1;
+    }
+    let widths = dag.level_widths();
+    CircuitStats {
+        name: circuit.name().to_owned(),
+        num_qubits: circuit.num_qubits(),
+        total_ops: circuit.len(),
+        gate_histogram,
+        t_count: circuit.t_count(),
+        two_qubit_ops: circuit.two_qubit_count(),
+        depth: dag.depth(),
+        parallelism_factor: dag.parallelism_factor(),
+        max_width: widths.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut b = Circuit::builder("sample", 3);
+        b.h(0).h(1).h(2);
+        b.cnot(0, 1).cnot(1, 2);
+        b.t(0).t(1);
+        b.meas_z(0);
+        b.finish()
+    }
+
+    #[test]
+    fn counts_match_circuit() {
+        let s = analyze(&sample());
+        assert_eq!(s.total_ops, 8);
+        assert_eq!(s.t_count, 2);
+        assert_eq!(s.two_qubit_ops, 2);
+        assert_eq!(s.num_qubits, 3);
+        assert_eq!(s.gate_histogram[&Gate::H], 3);
+        assert_eq!(s.gate_histogram[&Gate::Cnot], 2);
+    }
+
+    #[test]
+    fn depth_and_parallelism() {
+        let s = analyze(&sample());
+        // h's at level 0; cnot(0,1) level 1; t0 and cnot(1,2) level 2;
+        // t1/meas at level 3... depth from DAG:
+        let dag = DependencyDag::from_circuit(&sample());
+        assert_eq!(s.depth, dag.depth());
+        assert!((s.parallelism_factor - dag.parallelism_factor()).abs() < 1e-12);
+        assert!(s.max_width >= 2);
+    }
+
+    #[test]
+    fn target_logical_error_rate_scales_inversely() {
+        let s = analyze(&sample());
+        assert!((s.target_logical_error_rate() - 0.5 / 8.0).abs() < 1e-15);
+        assert!((s.computation_size() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_circuit_has_safe_defaults() {
+        let s = analyze(&Circuit::builder("empty", 0).finish());
+        assert_eq!(s.total_ops, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.max_width, 0);
+        assert_eq!(s.target_logical_error_rate(), 0.5);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let text = analyze(&sample()).to_string();
+        assert!(text.contains("sample"));
+        assert!(text.contains("8 ops"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dag does not match")]
+    fn analyze_with_mismatched_dag_panics() {
+        let c1 = sample();
+        let c2 = Circuit::builder("other", 1).finish();
+        let dag = DependencyDag::from_circuit(&c2);
+        let _ = analyze_with_dag(&c1, &dag);
+    }
+}

@@ -1,0 +1,448 @@
+//! Circuits and the builder used to construct them.
+
+use std::fmt;
+
+use crate::error::IrError;
+use crate::gate::Gate;
+use crate::Qubit;
+
+/// A single logical instruction: a gate applied to one or two qubits.
+///
+/// # Examples
+///
+/// ```
+/// use scq_ir::{Circuit, Gate};
+///
+/// let mut b = Circuit::builder("demo", 2);
+/// b.cnot(0, 1);
+/// let c = b.finish();
+/// let inst = &c.instructions()[0];
+/// assert_eq!(inst.gate(), Gate::Cnot);
+/// assert_eq!(inst.qubits().len(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    gate: Gate,
+    operands: [Qubit; 2],
+}
+
+impl Instruction {
+    pub(crate) fn new(gate: Gate, operands: [Qubit; 2]) -> Self {
+        Instruction { gate, operands }
+    }
+
+    /// The gate this instruction applies.
+    pub fn gate(&self) -> Gate {
+        self.gate
+    }
+
+    /// The qubit operands, in order. Length equals [`Gate::arity`].
+    ///
+    /// For [`Gate::Cnot`] the first element is the control and the second
+    /// the target.
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.operands[..self.gate.arity()]
+    }
+
+    /// Returns `true` if this instruction operates on `qubit`.
+    pub fn touches(&self, qubit: Qubit) -> bool {
+        self.qubits().contains(&qubit)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.gate)?;
+        for (i, q) in self.qubits().iter().enumerate() {
+            if i == 0 {
+                write!(f, " {q}")?;
+            } else {
+                write!(f, ", {q}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An ordered sequence of logical instructions over a fixed set of qubits.
+///
+/// A `Circuit` is the unit of work the backend maps, schedules, and
+/// estimates. Construct one with [`Circuit::builder`]; the builder validates
+/// operand ranges so every `Circuit` in existence is well-formed.
+///
+/// # Examples
+///
+/// ```
+/// use scq_ir::{Circuit, Gate};
+///
+/// let mut b = Circuit::builder("teleport-demo", 3);
+/// b.h(1).cnot(1, 2).cnot(0, 1).h(0).meas_z(0).meas_z(1);
+/// let c = b.finish();
+/// assert_eq!(c.num_qubits(), 3);
+/// assert_eq!(c.two_qubit_count(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    num_qubits: u32,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Starts building a circuit over `num_qubits` qubits.
+    pub fn builder(name: impl Into<String>, num_qubits: u32) -> CircuitBuilder {
+        CircuitBuilder {
+            circuit: Circuit {
+                name: name.into(),
+                num_qubits,
+                instructions: Vec::new(),
+            },
+        }
+    }
+
+    /// The circuit's human-readable name (e.g. `"ising-16"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of logical qubits the circuit operates on.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` if the circuit contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    /// Counts instructions applying `gate`.
+    pub fn count_gate(&self, gate: Gate) -> usize {
+        self.instructions.iter().filter(|i| i.gate() == gate).count()
+    }
+
+    /// Number of `T`/`Tdg` instructions — each consumes a magic state.
+    pub fn t_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| i.gate().needs_magic_state())
+            .count()
+    }
+
+    /// Number of two-qubit instructions — the communication-inducing ops.
+    pub fn two_qubit_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| i.gate().is_two_qubit())
+            .count()
+    }
+
+    /// Concatenates another circuit onto this one.
+    ///
+    /// The other circuit's qubit `k` is mapped to this circuit's qubit
+    /// `offset + k`; the width grows if needed. This is the primitive used
+    /// by the module-inlining transformations in `scq-apps`.
+    pub fn append(&mut self, other: &Circuit, offset: u32) {
+        let needed = offset + other.num_qubits;
+        if needed > self.num_qubits {
+            self.num_qubits = needed;
+        }
+        for inst in &other.instructions {
+            let mut ops = inst.operands;
+            for q in ops.iter_mut().take(inst.gate().arity()) {
+                *q = Qubit::new(q.raw() + offset);
+            }
+            self.instructions.push(Instruction::new(inst.gate(), ops));
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit `{}`: {} qubits, {} ops",
+            self.name,
+            self.num_qubits,
+            self.len()
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Incrementally builds a validated [`Circuit`].
+///
+/// Convenience methods (`h`, `cnot`, ...) take raw `u32` indices and panic
+/// on invalid operands; use [`CircuitBuilder::try_push`] for fallible
+/// construction from untrusted input.
+///
+/// # Panics
+///
+/// The gate convenience methods panic if an operand is out of range or if a
+/// two-qubit gate is given identical operands. Build-time validation keeps
+/// all downstream consumers panic-free.
+#[derive(Clone, Debug)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+}
+
+macro_rules! one_qubit_method {
+    ($(#[$doc:meta])* $name:ident, $gate:expr) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, q: u32) -> &mut Self {
+            self.push1($gate, q)
+        }
+    };
+}
+
+macro_rules! two_qubit_method {
+    ($(#[$doc:meta])* $name:ident, $gate:expr) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, a: u32, b: u32) -> &mut Self {
+            self.push2($gate, a, b)
+        }
+    };
+}
+
+impl CircuitBuilder {
+    /// Appends a gate with explicit operands, validating arity and ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::WrongArity`] if `qubits.len() != gate.arity()`,
+    /// [`IrError::QubitOutOfRange`] for an operand beyond the circuit
+    /// width, and [`IrError::DuplicateOperand`] when a two-qubit gate is
+    /// given the same qubit twice.
+    pub fn try_push(&mut self, gate: Gate, qubits: &[u32]) -> Result<&mut Self, IrError> {
+        if qubits.len() != gate.arity() {
+            return Err(IrError::WrongArity {
+                gate: gate.mnemonic(),
+                expected: gate.arity(),
+                actual: qubits.len(),
+            });
+        }
+        for &q in qubits {
+            if q >= self.circuit.num_qubits {
+                return Err(IrError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.circuit.num_qubits,
+                });
+            }
+        }
+        if gate.arity() == 2 && qubits[0] == qubits[1] {
+            return Err(IrError::DuplicateOperand { qubit: qubits[0] });
+        }
+        let a = Qubit::new(qubits[0]);
+        let b = Qubit::new(*qubits.get(1).unwrap_or(&qubits[0]));
+        self.circuit.instructions.push(Instruction::new(gate, [a, b]));
+        Ok(self)
+    }
+
+    fn push1(&mut self, gate: Gate, q: u32) -> &mut Self {
+        self.try_push(gate, &[q])
+            .unwrap_or_else(|e| panic!("invalid instruction: {e}"));
+        self
+    }
+
+    fn push2(&mut self, gate: Gate, a: u32, b: u32) -> &mut Self {
+        self.try_push(gate, &[a, b])
+            .unwrap_or_else(|e| panic!("invalid instruction: {e}"));
+        self
+    }
+
+    one_qubit_method!(
+        /// Appends a `|0>` preparation.
+        prep_z, Gate::PrepZ);
+    one_qubit_method!(
+        /// Appends a `|+>` preparation.
+        prep_x, Gate::PrepX);
+    one_qubit_method!(
+        /// Appends a Z-basis measurement.
+        meas_z, Gate::MeasZ);
+    one_qubit_method!(
+        /// Appends an X-basis measurement.
+        meas_x, Gate::MeasX);
+    one_qubit_method!(
+        /// Appends a Pauli X.
+        x, Gate::X);
+    one_qubit_method!(
+        /// Appends a Pauli Y.
+        y, Gate::Y);
+    one_qubit_method!(
+        /// Appends a Pauli Z.
+        z, Gate::Z);
+    one_qubit_method!(
+        /// Appends a Hadamard.
+        h, Gate::H);
+    one_qubit_method!(
+        /// Appends an S gate.
+        s, Gate::S);
+    one_qubit_method!(
+        /// Appends an S-dagger gate.
+        sdg, Gate::Sdg);
+    one_qubit_method!(
+        /// Appends a T gate (consumes a magic state when executed).
+        t, Gate::T);
+    one_qubit_method!(
+        /// Appends a T-dagger gate (consumes a magic state when executed).
+        tdg, Gate::Tdg);
+    two_qubit_method!(
+        /// Appends a CNOT with control `a` and target `b`.
+        cnot, Gate::Cnot);
+    two_qubit_method!(
+        /// Appends a controlled-Z between `a` and `b`.
+        cz, Gate::Cz);
+    two_qubit_method!(
+        /// Appends a logical swap of `a` and `b`.
+        swap, Gate::Swap);
+
+    /// Number of instructions appended so far.
+    pub fn len(&self) -> usize {
+        self.circuit.len()
+    }
+
+    /// Returns `true` if no instruction has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.circuit.is_empty()
+    }
+
+    /// The circuit width this builder was created with.
+    pub fn num_qubits(&self) -> u32 {
+        self.circuit.num_qubits
+    }
+
+    /// Finishes construction, yielding the immutable [`Circuit`].
+    pub fn finish(self) -> Circuit {
+        self.circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz(n: u32) -> Circuit {
+        let mut b = Circuit::builder("ghz", n);
+        b.h(0);
+        for i in 1..n {
+            b.cnot(0, i);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_program_order() {
+        let c = ghz(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.instructions()[0].gate(), Gate::H);
+        assert_eq!(c.instructions()[1].qubits(), &[Qubit::new(0), Qubit::new(1)]);
+        assert_eq!(c.instructions()[2].qubits(), &[Qubit::new(0), Qubit::new(2)]);
+    }
+
+    #[test]
+    fn counts() {
+        let mut b = Circuit::builder("counts", 2);
+        b.t(0).tdg(1).cnot(0, 1).h(0).t(0);
+        let c = b.finish();
+        assert_eq!(c.t_count(), 3);
+        assert_eq!(c.two_qubit_count(), 1);
+        assert_eq!(c.count_gate(Gate::H), 1);
+        assert_eq!(c.count_gate(Gate::Cz), 0);
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_range() {
+        let mut b = Circuit::builder("bad", 2);
+        let err = b.try_push(Gate::H, &[2]).unwrap_err();
+        assert_eq!(
+            err,
+            IrError::QubitOutOfRange {
+                qubit: 2,
+                num_qubits: 2
+            }
+        );
+    }
+
+    #[test]
+    fn try_push_rejects_duplicate_operands() {
+        let mut b = Circuit::builder("bad", 2);
+        let err = b.try_push(Gate::Cnot, &[1, 1]).unwrap_err();
+        assert_eq!(err, IrError::DuplicateOperand { qubit: 1 });
+    }
+
+    #[test]
+    fn try_push_rejects_wrong_arity() {
+        let mut b = Circuit::builder("bad", 2);
+        let err = b.try_push(Gate::Cnot, &[1]).unwrap_err();
+        assert!(matches!(err, IrError::WrongArity { expected: 2, actual: 1, .. }));
+        let err = b.try_push(Gate::H, &[0, 1]).unwrap_err();
+        assert!(matches!(err, IrError::WrongArity { expected: 1, actual: 2, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid instruction")]
+    fn convenience_method_panics_on_bad_operand() {
+        let mut b = Circuit::builder("bad", 1);
+        b.h(3);
+    }
+
+    #[test]
+    fn append_remaps_qubits_and_grows_width() {
+        let inner = ghz(2);
+        let mut outer = Circuit::builder("outer", 1).finish();
+        outer.append(&inner, 1);
+        assert_eq!(outer.num_qubits(), 3);
+        assert_eq!(outer.instructions()[0].qubits(), &[Qubit::new(1)]);
+        assert_eq!(outer.instructions()[1].qubits(), &[Qubit::new(1), Qubit::new(2)]);
+    }
+
+    #[test]
+    fn instruction_display() {
+        let c = ghz(2);
+        assert_eq!(c.instructions()[0].to_string(), "h q0");
+        assert_eq!(c.instructions()[1].to_string(), "cnot q0, q1");
+    }
+
+    #[test]
+    fn circuit_display_summarizes() {
+        let c = ghz(4);
+        let s = c.to_string();
+        assert!(s.contains("ghz") && s.contains("4 qubits"), "{s}");
+    }
+
+    #[test]
+    fn touches_checks_operands() {
+        let c = ghz(3);
+        assert!(c.instructions()[1].touches(Qubit::new(1)));
+        assert!(!c.instructions()[1].touches(Qubit::new(2)));
+    }
+
+    #[test]
+    fn into_iterator_for_ref() {
+        let c = ghz(3);
+        let n = (&c).into_iter().count();
+        assert_eq!(n, 3);
+    }
+}

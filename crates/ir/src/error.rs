@@ -1,0 +1,159 @@
+//! Error types for the IR crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while constructing or validating a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A gate referenced a qubit index at or beyond the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The circuit width.
+        num_qubits: u32,
+    },
+    /// A two-qubit gate was given the same qubit for both operands.
+    DuplicateOperand {
+        /// The repeated qubit index.
+        qubit: u32,
+    },
+    /// A gate was applied with the wrong number of operands.
+    WrongArity {
+        /// The gate mnemonic.
+        gate: &'static str,
+        /// The expected operand count.
+        expected: usize,
+        /// The provided operand count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit index {qubit} out of range for circuit of {num_qubits} qubits"
+            ),
+            IrError::DuplicateOperand { qubit } => {
+                write!(f, "two-qubit gate applied twice to qubit {qubit}")
+            }
+            IrError::WrongArity {
+                gate,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "gate {gate} expects {expected} operand(s), got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+/// An error produced when parsing a gate mnemonic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseGateError {
+    input: String,
+}
+
+impl ParseGateError {
+    pub(crate) fn new(input: &str) -> Self {
+        ParseGateError {
+            input: input.to_owned(),
+        }
+    }
+
+    /// The string that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate mnemonic `{}`", self.input)
+    }
+}
+
+impl Error for ParseGateError {}
+
+/// An error produced when parsing a QASM text dump back into a [`Circuit`].
+///
+/// [`Circuit`]: crate::Circuit
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QasmParseError {
+    line: usize,
+    message: String,
+}
+
+impl QasmParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        QasmParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// One-based line number at which parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for QasmParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for QasmParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ir_error_messages_are_informative() {
+        let e = IrError::QubitOutOfRange {
+            qubit: 9,
+            num_qubits: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('9') && msg.contains('4'), "{msg}");
+
+        let e = IrError::DuplicateOperand { qubit: 2 };
+        assert!(e.to_string().contains('2'));
+
+        let e = IrError::WrongArity {
+            gate: "cnot",
+            expected: 2,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("cnot"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<IrError>();
+        assert_error::<ParseGateError>();
+        assert_error::<QasmParseError>();
+    }
+
+    #[test]
+    fn qasm_error_accessors() {
+        let e = QasmParseError::new(12, "bad operand");
+        assert_eq!(e.line(), 12);
+        assert_eq!(e.message(), "bad operand");
+        assert!(e.to_string().contains("12"));
+    }
+}

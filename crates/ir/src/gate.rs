@@ -1,0 +1,233 @@
+//! The logical gate set.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseGateError;
+
+/// A logical gate in the fault-tolerant Clifford+T instruction set.
+///
+/// This is the universal set the paper's toolflow schedules (Section 2.1:
+/// "a small set of operations is sufficient to approximate all possible
+/// operations... akin to a classical instruction set"). State preparation
+/// and measurement are included because the dependency DAG must order them
+/// with respect to unitary gates.
+///
+/// Gates are classified along the axes the backend cares about:
+///
+/// - **arity**: one- vs two-qubit ([`Gate::arity`]),
+/// - **magic-state consumption**: `T`/`Tdg` require a distilled magic state
+///   delivered from an ancilla factory (paper Section 4.3),
+/// - **Clifford-ness**: Clifford gates are cheap transversal/code
+///   deformation operations; non-Clifford gates dominate cost.
+///
+/// # Examples
+///
+/// ```
+/// use scq_ir::Gate;
+///
+/// assert_eq!(Gate::Cnot.arity(), 2);
+/// assert!(Gate::T.needs_magic_state());
+/// assert!(Gate::H.is_clifford());
+/// assert_eq!("cnot".parse::<Gate>().unwrap(), Gate::Cnot);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Gate {
+    /// Prepare a qubit in the `|0>` state.
+    PrepZ,
+    /// Prepare a qubit in the `|+>` state.
+    PrepX,
+    /// Measure a qubit in the Z basis.
+    MeasZ,
+    /// Measure a qubit in the X basis.
+    MeasX,
+    /// Pauli X (bit flip).
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z (phase flip).
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate (sqrt of Z).
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T gate (pi/8 rotation); consumes one magic state.
+    T,
+    /// Inverse T gate; consumes one magic state.
+    Tdg,
+    /// Controlled-NOT. First operand is the control.
+    Cnot,
+    /// Controlled-Z.
+    Cz,
+    /// Swap two logical qubits.
+    Swap,
+}
+
+impl Gate {
+    /// All gates in the instruction set, in declaration order.
+    pub const ALL: [Gate; 15] = [
+        Gate::PrepZ,
+        Gate::PrepX,
+        Gate::MeasZ,
+        Gate::MeasX,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::T,
+        Gate::Tdg,
+        Gate::Cnot,
+        Gate::Cz,
+        Gate::Swap,
+    ];
+
+    /// Number of qubit operands this gate takes (1 or 2).
+    pub fn arity(self) -> usize {
+        match self {
+            Gate::Cnot | Gate::Cz | Gate::Swap => 2,
+            _ => 1,
+        }
+    }
+
+    /// Returns `true` for two-qubit gates, the ones that require
+    /// communication when their operands live in distant tiles.
+    pub fn is_two_qubit(self) -> bool {
+        self.arity() == 2
+    }
+
+    /// Returns `true` if this gate is in the Clifford group (or is a
+    /// preparation/measurement, which surface codes also implement
+    /// natively). Only `T`/`Tdg` are non-Clifford.
+    pub fn is_clifford(self) -> bool {
+        !self.needs_magic_state()
+    }
+
+    /// Returns `true` if executing this gate fault-tolerantly consumes a
+    /// distilled magic state (paper Section 2.2: "most proposals for
+    /// performing the T operation require ... magic state").
+    pub fn needs_magic_state(self) -> bool {
+        matches!(self, Gate::T | Gate::Tdg)
+    }
+
+    /// Returns `true` for measurement gates.
+    pub fn is_measurement(self) -> bool {
+        matches!(self, Gate::MeasZ | Gate::MeasX)
+    }
+
+    /// Returns `true` for state-preparation gates.
+    pub fn is_preparation(self) -> bool {
+        matches!(self, Gate::PrepZ | Gate::PrepX)
+    }
+
+    /// The textual mnemonic used in the QASM dump, e.g. `"cnot"`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Gate::PrepZ => "prepz",
+            Gate::PrepX => "prepx",
+            Gate::MeasZ => "measz",
+            Gate::MeasX => "measx",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Cnot => "cnot",
+            Gate::Cz => "cz",
+            Gate::Swap => "swap",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for Gate {
+    type Err = ParseGateError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Gate::ALL
+            .iter()
+            .copied()
+            .find(|g| g.mnemonic() == lower)
+            .ok_or_else(|| ParseGateError::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_partitions_gate_set() {
+        for g in Gate::ALL {
+            match g {
+                Gate::Cnot | Gate::Cz | Gate::Swap => assert_eq!(g.arity(), 2),
+                _ => assert_eq!(g.arity(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn only_t_gates_need_magic_states() {
+        let magic: Vec<Gate> = Gate::ALL
+            .iter()
+            .copied()
+            .filter(|g| g.needs_magic_state())
+            .collect();
+        assert_eq!(magic, vec![Gate::T, Gate::Tdg]);
+    }
+
+    #[test]
+    fn clifford_is_complement_of_magic() {
+        for g in Gate::ALL {
+            assert_ne!(g.is_clifford(), g.needs_magic_state());
+        }
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for g in Gate::ALL {
+            let parsed: Gate = g.mnemonic().parse().unwrap();
+            assert_eq!(parsed, g);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("CNOT".parse::<Gate>().unwrap(), Gate::Cnot);
+        assert_eq!("Tdg".parse::<Gate>().unwrap(), Gate::Tdg);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "toffoli".parse::<Gate>().unwrap_err();
+        assert!(err.to_string().contains("toffoli"));
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(Gate::Sdg.to_string(), "sdg");
+        assert_eq!(Gate::PrepZ.to_string(), "prepz");
+    }
+
+    #[test]
+    fn measurement_and_preparation_classification() {
+        assert!(Gate::MeasZ.is_measurement());
+        assert!(Gate::MeasX.is_measurement());
+        assert!(!Gate::H.is_measurement());
+        assert!(Gate::PrepZ.is_preparation());
+        assert!(Gate::PrepX.is_preparation());
+        assert!(!Gate::MeasZ.is_preparation());
+    }
+}

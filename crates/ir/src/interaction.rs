@@ -1,0 +1,149 @@
+//! Weighted qubit-interaction graphs.
+
+use std::collections::BTreeMap;
+
+use crate::circuit::Circuit;
+
+/// The weighted interaction graph of a circuit: vertices are logical
+/// qubits, and the weight of edge `{a, b}` counts the two-qubit
+/// instructions operating on `a` and `b`.
+///
+/// This is the graph the paper partitions with METIS to place
+/// frequently-interacting qubits close together (Section 6.2: "map logical
+/// tiles which interact frequently close to each other").
+///
+/// # Examples
+///
+/// ```
+/// use scq_ir::{Circuit, InteractionGraph};
+///
+/// let mut b = Circuit::builder("pair", 3);
+/// b.cnot(0, 1).cnot(0, 1).cnot(1, 2);
+/// let g = InteractionGraph::from_circuit(&b.finish());
+///
+/// assert_eq!(g.weight(0, 1), 2);
+/// assert_eq!(g.weight(1, 2), 1);
+/// assert_eq!(g.weight(0, 2), 0);
+/// assert_eq!(g.total_weight(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InteractionGraph {
+    num_qubits: u32,
+    // Keyed on (min, max); BTreeMap gives deterministic iteration order,
+    // which keeps layout results reproducible run to run.
+    edges: BTreeMap<(u32, u32), u64>,
+}
+
+impl InteractionGraph {
+    /// Builds the interaction graph of `circuit`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut edges = BTreeMap::new();
+        for inst in circuit {
+            let qs = inst.qubits();
+            if qs.len() == 2 {
+                let (a, b) = (qs[0].raw(), qs[1].raw());
+                let key = (a.min(b), a.max(b));
+                *edges.entry(key).or_insert(0) += 1;
+            }
+        }
+        InteractionGraph {
+            num_qubits: circuit.num_qubits(),
+            edges,
+        }
+    }
+
+    /// Number of vertices (logical qubits).
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of distinct interacting pairs.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Interaction count between `a` and `b` (0 if they never interact).
+    pub fn weight(&self, a: u32, b: u32) -> u64 {
+        if a == b {
+            return 0;
+        }
+        self.edges
+            .get(&(a.min(b), a.max(b)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all edge weights (= the circuit's two-qubit op count).
+    pub fn total_weight(&self) -> u64 {
+        self.edges.values().sum()
+    }
+
+    /// Iterates over `(a, b, weight)` with `a < b`, in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.edges.iter().map(|(&(a, b), &w)| (a, b, w))
+    }
+
+    /// Total interaction weight incident to qubit `q`.
+    pub fn degree(&self, q: u32) -> u64 {
+        self.edges
+            .iter()
+            .filter(|(&(a, b), _)| a == q || b == q)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    fn sample() -> InteractionGraph {
+        let mut b = Circuit::builder("sample", 4);
+        b.h(0); // single-qubit ops don't contribute
+        b.cnot(0, 1).cnot(1, 0).cz(2, 3).swap(0, 3);
+        InteractionGraph::from_circuit(&b.finish())
+    }
+
+    #[test]
+    fn weights_are_undirected() {
+        let g = sample();
+        assert_eq!(g.weight(0, 1), 2); // cnot(0,1) + cnot(1,0)
+        assert_eq!(g.weight(1, 0), 2);
+    }
+
+    #[test]
+    fn single_qubit_gates_do_not_contribute() {
+        let g = sample();
+        assert_eq!(g.total_weight(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn self_weight_is_zero() {
+        let g = sample();
+        assert_eq!(g.weight(2, 2), 0);
+    }
+
+    #[test]
+    fn degree_sums_incident_weight() {
+        let g = sample();
+        assert_eq!(g.degree(0), 3); // 2 with q1, 1 with q3
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn iter_is_deterministic_and_sorted() {
+        let g = sample();
+        let edges: Vec<_> = g.iter().collect();
+        assert_eq!(edges, vec![(0, 1, 2), (0, 3, 1), (2, 3, 1)]);
+    }
+
+    #[test]
+    fn empty_circuit_yields_empty_graph() {
+        let g = InteractionGraph::from_circuit(&Circuit::builder("e", 5).finish());
+        assert_eq!(g.num_qubits(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.total_weight(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Logical quantum intermediate representation for the surface-code
+//! communication toolflow.
+//!
+//! This crate is the reproduction of the QASM-level logical ISA the paper's
+//! frontend (ScaffCC) lowers to. It provides:
+//!
+//! - [`Gate`]: the Clifford+T logical gate set,
+//! - [`Circuit`] / [`CircuitBuilder`]: a validated sequence of logical
+//!   instructions over [`Qubit`]s,
+//! - [`DependencyDag`]: the data-dependency graph used for scheduling,
+//!   critical-path and criticality analysis,
+//! - [`analysis`]: logical-level resource and parallelism estimation
+//!   (the "Logical-Level Analysis" stage of the paper's Figure 4),
+//! - [`optimize`]: peephole cancellation/fusion (frontend op reduction),
+//! - [`sim`]: a reference statevector simulator used to verify circuit
+//!   transformations on small unitary circuits,
+//! - [`InteractionGraph`]: the weighted qubit-interaction graph consumed by
+//!   the layout optimizer (paper Section 6.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use scq_ir::{Circuit, Gate};
+//!
+//! let mut b = Circuit::builder("bell", 2);
+//! b.h(0).cnot(0, 1).meas_z(0).meas_z(1);
+//! let circuit = b.finish();
+//!
+//! assert_eq!(circuit.len(), 4);
+//! let dag = scq_ir::DependencyDag::from_circuit(&circuit);
+//! assert_eq!(dag.depth(), 3); // H -> CNOT -> measurements
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod circuit;
+pub mod optimize;
+mod dag;
+mod error;
+mod gate;
+mod interaction;
+mod qasm;
+pub mod sim;
+
+pub use circuit::{Circuit, CircuitBuilder, Instruction};
+pub use dag::DependencyDag;
+pub use error::{IrError, ParseGateError, QasmParseError};
+pub use gate::Gate;
+pub use interaction::InteractionGraph;
+pub use qasm::{circuit_from_qasm, circuit_to_qasm};
+
+/// A logical qubit identifier within a [`Circuit`].
+///
+/// `Qubit` is a plain index newtype: qubit `k` of an `n`-qubit circuit has
+/// `index() == k < n`. It carries no state; the IR is purely structural.
+///
+/// # Examples
+///
+/// ```
+/// use scq_ir::Qubit;
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Qubit(u32);
+
+impl Qubit {
+    /// Creates a qubit identifier from a raw index.
+    pub fn new(index: u32) -> Self {
+        Qubit(index)
+    }
+
+    /// Returns the raw index of this qubit.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index as `u32`.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(index: u32) -> Self {
+        Qubit(index)
+    }
+}
+
+impl std::fmt::Display for Qubit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_roundtrip() {
+        let q = Qubit::new(7);
+        assert_eq!(q.index(), 7);
+        assert_eq!(q.raw(), 7);
+        assert_eq!(Qubit::from(7u32), q);
+    }
+
+    #[test]
+    fn qubit_display() {
+        assert_eq!(Qubit::new(0).to_string(), "q0");
+        assert_eq!(Qubit::new(41).to_string(), "q41");
+    }
+
+    #[test]
+    fn qubit_ordering() {
+        assert!(Qubit::new(1) < Qubit::new(2));
+        let mut v = vec![Qubit::new(3), Qubit::new(1), Qubit::new(2)];
+        v.sort();
+        assert_eq!(v, vec![Qubit::new(1), Qubit::new(2), Qubit::new(3)]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Peephole circuit optimization.
+//!
+//! The paper's frontend reduces logical operation counts before error
+//! correction is applied, because "a reduced operation count yields
+//! multiplicative benefits: fewer operations must be protected against
+//! errors, and those that do ... can afford a weaker form of correction"
+//! (Section 5.4). This pass implements the standard wire-local rewrites:
+//! adjacent self-inverse pairs cancel, and adjacent T/S rotations fuse.
+
+use crate::circuit::{Circuit, Instruction};
+use crate::gate::Gate;
+
+/// What the optimizer did to a circuit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Instructions removed as adjacent inverse pairs (counts both).
+    pub cancelled: usize,
+    /// Instruction pairs fused into one (e.g. `T;T -> S`).
+    pub fused: usize,
+    /// Rewrite passes run until the fixpoint.
+    pub passes: usize,
+}
+
+impl OptimizeStats {
+    /// Net instructions eliminated.
+    pub fn removed(&self) -> usize {
+        self.cancelled + self.fused
+    }
+}
+
+/// Returns the gate two adjacent `g` instructions fuse into, if any.
+fn fuse_rule(g: Gate) -> Option<Gate> {
+    match g {
+        Gate::T => Some(Gate::S),
+        Gate::Tdg => Some(Gate::Sdg),
+        Gate::S | Gate::Sdg => Some(Gate::Z),
+        _ => None,
+    }
+}
+
+/// Returns `true` if `a` followed by `b` on identical wires is identity.
+fn cancels(a: &Instruction, b: &Instruction) -> bool {
+    let (ga, gb) = (a.gate(), b.gate());
+    let inverse_pair = matches!(
+        (ga, gb),
+        (Gate::H, Gate::H)
+            | (Gate::X, Gate::X)
+            | (Gate::Y, Gate::Y)
+            | (Gate::Z, Gate::Z)
+            | (Gate::S, Gate::Sdg)
+            | (Gate::Sdg, Gate::S)
+            | (Gate::T, Gate::Tdg)
+            | (Gate::Tdg, Gate::T)
+            | (Gate::Cnot, Gate::Cnot)
+            | (Gate::Cz, Gate::Cz)
+            | (Gate::Swap, Gate::Swap)
+    );
+    if !inverse_pair {
+        return false;
+    }
+    match ga {
+        // Symmetric two-qubit gates cancel regardless of operand order.
+        Gate::Cz | Gate::Swap => {
+            let mut qa: Vec<_> = a.qubits().to_vec();
+            let mut qb: Vec<_> = b.qubits().to_vec();
+            qa.sort();
+            qb.sort();
+            qa == qb
+        }
+        _ => a.qubits() == b.qubits(),
+    }
+}
+
+/// One rewrite pass; returns the new circuit and whether it changed.
+fn pass(circuit: &Circuit, stats: &mut OptimizeStats) -> (Circuit, bool) {
+    let n = circuit.num_qubits() as usize;
+    // Output buffer; `None` marks instructions removed by cancellation.
+    let mut out: Vec<Option<Instruction>> = Vec::with_capacity(circuit.len());
+    // Per-wire index of the last live output instruction.
+    let mut last_on_wire: Vec<Option<usize>> = vec![None; n];
+    let mut changed = false;
+
+    for inst in circuit {
+        let qs = inst.qubits();
+        // The previous instruction is adjacent only if it is the last
+        // op on *every* wire this instruction touches.
+        let prev_idx = last_on_wire[qs[0].index()];
+        let adjacent = prev_idx
+            .filter(|&i| {
+                qs.iter().all(|q| last_on_wire[q.index()] == Some(i))
+                    && out[i]
+                        .as_ref()
+                        .map(|p| p.qubits().iter().all(|pq| qs.contains(pq)))
+                        .unwrap_or(false)
+            })
+            .and_then(|i| out[i].as_ref().map(|p| (i, *p)));
+
+        if let Some((i, prev)) = adjacent {
+            if cancels(&prev, inst) {
+                out[i] = None;
+                for q in qs {
+                    last_on_wire[q.index()] = rewind(&out, q.index());
+                }
+                stats.cancelled += 2;
+                changed = true;
+                continue;
+            }
+            if prev.gate() == inst.gate() && prev.qubits() == qs {
+                if let Some(fused) = fuse_rule(inst.gate()) {
+                    out[i] = Some(Instruction::new(fused, [qs[0], qs[0]]));
+                    stats.fused += 1;
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+        let idx = out.len();
+        out.push(Some(*inst));
+        for q in qs {
+            last_on_wire[q.index()] = Some(idx);
+        }
+    }
+
+    let mut b = Circuit::builder(circuit.name(), circuit.num_qubits());
+    for inst in out.into_iter().flatten() {
+        let raw: Vec<u32> = inst.qubits().iter().map(|q| q.raw()).collect();
+        b.try_push(inst.gate(), &raw)
+            .expect("rewritten instructions stay valid");
+    }
+    (b.finish(), changed)
+}
+
+/// Finds the latest live instruction on `wire` before the removed one.
+fn rewind(out: &[Option<Instruction>], wire: usize) -> Option<usize> {
+    out.iter()
+        .enumerate()
+        .rev()
+        .find(|(_, slot)| {
+            slot.as_ref()
+                .map(|i| i.qubits().iter().any(|q| q.index() == wire))
+                .unwrap_or(false)
+        })
+        .map(|(i, _)| i)
+}
+
+/// Optimizes a circuit to a rewrite fixpoint.
+///
+/// Applies wire-local cancellation (adjacent self-inverse pairs) and
+/// fusion (`T;T -> S`, `S;S -> Z`, and their daggers) until no rule
+/// fires. Never increases the instruction count, depth, or T count.
+///
+/// # Examples
+///
+/// ```
+/// use scq_ir::{optimize, Circuit};
+///
+/// let mut b = Circuit::builder("redundant", 2);
+/// b.h(0).h(0).t(1).t(1).cnot(0, 1).cnot(0, 1);
+/// let (optimized, stats) = optimize::peephole(&b.finish());
+/// assert_eq!(optimized.len(), 1); // only the fused S on q1 survives
+/// assert_eq!(stats.removed(), 5);
+/// ```
+pub fn peephole(circuit: &Circuit) -> (Circuit, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    let mut current = circuit.clone();
+    loop {
+        stats.passes += 1;
+        let (next, changed) = pass(&current, &mut stats);
+        current = next;
+        if !changed || stats.passes > 64 {
+            return (current, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_pairs_cancel() {
+        let mut b = Circuit::builder("c", 2);
+        b.h(0).h(0).x(1).x(1).s(0).sdg(0);
+        let (opt, stats) = peephole(&b.finish());
+        assert!(opt.is_empty(), "survivors: {:?}", opt.instructions());
+        assert_eq!(stats.cancelled, 6);
+    }
+
+    #[test]
+    fn cnot_pairs_cancel_only_with_same_orientation() {
+        let mut b = Circuit::builder("c", 2);
+        b.cnot(0, 1).cnot(0, 1); // cancels
+        b.cnot(0, 1).cnot(1, 0); // does not
+        let (opt, _) = peephole(&b.finish());
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn symmetric_gates_cancel_in_either_order() {
+        let mut b = Circuit::builder("c", 2);
+        b.cz(0, 1).cz(1, 0).swap(0, 1).swap(1, 0);
+        let (opt, _) = peephole(&b.finish());
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn t_chains_fuse_to_fixpoint() {
+        // T T T T = S S = Z; Z Z = I.
+        let mut b = Circuit::builder("c", 1);
+        for _ in 0..8 {
+            b.t(0);
+        }
+        let (opt, stats) = peephole(&b.finish());
+        assert!(opt.is_empty(), "survivors: {:?}", opt.instructions());
+        assert!(stats.passes >= 2, "fusion cascade needs multiple passes");
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut b = Circuit::builder("c", 2);
+        b.h(0).cnot(0, 1).h(0);
+        let (opt, stats) = peephole(&b.finish());
+        assert_eq!(opt.len(), 3);
+        assert_eq!(stats.removed(), 0);
+    }
+
+    #[test]
+    fn two_qubit_adjacency_requires_both_wires() {
+        // cnot; h on target; cnot: the H blocks the pair.
+        let mut b = Circuit::builder("c", 2);
+        b.cnot(0, 1).h(1).cnot(0, 1);
+        let (opt, _) = peephole(&b.finish());
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn measurements_are_barriers() {
+        let mut b = Circuit::builder("c", 1);
+        b.h(0).meas_z(0).h(0);
+        let (opt, _) = peephole(&b.finish());
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let mut b = Circuit::builder("c", 3);
+        b.h(0).t(0).t(0).cnot(0, 1).cnot(0, 1).h(0).swap(1, 2);
+        let (once, _) = peephole(&b.finish());
+        let (twice, stats) = peephole(&once);
+        assert_eq!(once, twice);
+        assert_eq!(stats.removed(), 0);
+    }
+
+    #[test]
+    fn cancellation_exposes_earlier_pairs() {
+        // H [cnot cnot] H: removing the cnots lets the Hs cancel.
+        let mut b = Circuit::builder("c", 2);
+        b.h(0).cnot(0, 1).cnot(0, 1).h(0);
+        let (opt, _) = peephole(&b.finish());
+        assert!(opt.is_empty(), "survivors: {:?}", opt.instructions());
+    }
+}

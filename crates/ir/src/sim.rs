@@ -1,0 +1,364 @@
+//! Reference statevector simulator for small unitary circuits.
+//!
+//! Used to *verify* circuit transformations: the peephole optimizer's
+//! rewrites must preserve the statevector exactly (our rules are
+//! phase-exact, not merely up to global phase). This is test tooling for
+//! a handful of qubits, not a performance simulator — memory is `2^n`
+//! amplitudes.
+
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// A complex amplitude.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The complex number `re + im*i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Zero.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+    /// One.
+    pub const ONE: Complex = Complex::new(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: Complex = Complex::new(0.0, 1.0);
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.4}{:+.4}i", self.re, self.im)
+    }
+}
+
+/// An `n`-qubit statevector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    num_qubits: u32,
+    amps: Vec<Complex>,
+}
+
+/// The circuit contained a non-unitary instruction (preparation or
+/// measurement), which the statevector simulator does not model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NonUnitary {
+    /// Index of the offending instruction.
+    pub index: usize,
+}
+
+impl fmt::Display for NonUnitary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instruction {} is not unitary", self.index)
+    }
+}
+
+impl std::error::Error for NonUnitary {}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 20` (the simulator is for small
+    /// verification circuits).
+    pub fn zero(num_qubits: u32) -> Self {
+        assert!(num_qubits <= 20, "statevector sim capped at 20 qubits");
+        let mut amps = vec![Complex::ZERO; 1 << num_qubits];
+        amps[0] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Amplitude of basis state `index`.
+    pub fn amplitude(&self, index: usize) -> Complex {
+        self.amps[index]
+    }
+
+    /// Probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sq()
+    }
+
+    /// Largest amplitude difference to another state (infinity norm).
+    pub fn distance(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| {
+                let d = Complex::new(a.re - b.re, a.im - b.im);
+                d.norm_sq().sqrt()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn apply_1q(&mut self, q: u32, m: [[Complex; 2]; 2]) {
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let a = self.amps[i];
+                let b = self.amps[i | bit];
+                self.amps[i] = m[0][0] * a + m[0][1] * b;
+                self.amps[i | bit] = m[1][0] * a + m[1][1] * b;
+            }
+        }
+    }
+
+    fn apply_phase_if(&mut self, predicate: impl Fn(usize) -> bool, phase: Complex) {
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if predicate(i) {
+                *amp = *amp * phase;
+            }
+        }
+    }
+
+    /// Applies one unitary gate.
+    fn apply(&mut self, gate: Gate, qs: &[u32]) -> Result<(), ()> {
+        let inv_sqrt2 = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+        let neg = Complex::new(-1.0, 0.0);
+        match gate {
+            Gate::X => {
+                let bit = 1usize << qs[0];
+                for i in 0..self.amps.len() {
+                    if i & bit == 0 {
+                        self.amps.swap(i, i | bit);
+                    }
+                }
+            }
+            Gate::Y => {
+                let bit = 1usize << qs[0];
+                for i in 0..self.amps.len() {
+                    if i & bit == 0 {
+                        let a = self.amps[i];
+                        let b = self.amps[i | bit];
+                        self.amps[i] = Complex::new(b.im, -b.re); // -i*b
+                        self.amps[i | bit] = Complex::new(-a.im, a.re); // i*a
+                    }
+                }
+            }
+            Gate::Z => {
+                let bit = 1usize << qs[0];
+                self.apply_phase_if(|i| i & bit != 0, neg);
+            }
+            Gate::H => {
+                let m = [
+                    [inv_sqrt2, inv_sqrt2],
+                    [inv_sqrt2, inv_sqrt2 * neg],
+                ];
+                self.apply_1q(qs[0], m);
+            }
+            Gate::S => {
+                let bit = 1usize << qs[0];
+                self.apply_phase_if(|i| i & bit != 0, Complex::I);
+            }
+            Gate::Sdg => {
+                let bit = 1usize << qs[0];
+                self.apply_phase_if(|i| i & bit != 0, Complex::new(0.0, -1.0));
+            }
+            Gate::T => {
+                let bit = 1usize << qs[0];
+                let p = Complex::new(
+                    std::f64::consts::FRAC_1_SQRT_2,
+                    std::f64::consts::FRAC_1_SQRT_2,
+                );
+                self.apply_phase_if(|i| i & bit != 0, p);
+            }
+            Gate::Tdg => {
+                let bit = 1usize << qs[0];
+                let p = Complex::new(
+                    std::f64::consts::FRAC_1_SQRT_2,
+                    -std::f64::consts::FRAC_1_SQRT_2,
+                );
+                self.apply_phase_if(|i| i & bit != 0, p);
+            }
+            Gate::Cnot => {
+                let c = 1usize << qs[0];
+                let t = 1usize << qs[1];
+                for i in 0..self.amps.len() {
+                    if i & c != 0 && i & t == 0 {
+                        self.amps.swap(i, i | t);
+                    }
+                }
+            }
+            Gate::Cz => {
+                let c = 1usize << qs[0];
+                let t = 1usize << qs[1];
+                self.apply_phase_if(|i| i & c != 0 && i & t != 0, neg);
+            }
+            Gate::Swap => {
+                let a = 1usize << qs[0];
+                let b = 1usize << qs[1];
+                for i in 0..self.amps.len() {
+                    if i & a != 0 && i & b == 0 {
+                        self.amps.swap(i, (i & !a) | b);
+                    }
+                }
+            }
+            Gate::PrepZ | Gate::PrepX | Gate::MeasZ | Gate::MeasX => return Err(()),
+        }
+        Ok(())
+    }
+}
+
+/// Simulates a unitary circuit from `|0...0>`.
+///
+/// # Errors
+///
+/// Returns [`NonUnitary`] if the circuit contains preparations or
+/// measurements.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 20 qubits.
+///
+/// # Examples
+///
+/// ```
+/// use scq_ir::{sim, Circuit};
+///
+/// let mut b = Circuit::builder("bell", 2);
+/// b.h(0).cnot(0, 1);
+/// let state = sim::simulate(&b.finish()).unwrap();
+/// assert!((state.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+pub fn simulate(circuit: &Circuit) -> Result<StateVector, NonUnitary> {
+    let mut state = StateVector::zero(circuit.num_qubits());
+    for (index, inst) in circuit.iter().enumerate() {
+        let qs: Vec<u32> = inst.qubits().iter().map(|q| q.raw()).collect();
+        state
+            .apply(inst.gate(), &qs)
+            .map_err(|()| NonUnitary { index })?;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut b = Circuit::builder("bell", 2);
+        b.h(0).cnot(0, 1);
+        let s = simulate(&b.finish()).unwrap();
+        assert_close(s.probability(0b00), 0.5);
+        assert_close(s.probability(0b11), 0.5);
+        assert_close(s.probability(0b01), 0.0);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut b = Circuit::builder("x", 1);
+        b.x(0);
+        let s = simulate(&b.finish()).unwrap();
+        assert_close(s.probability(1), 1.0);
+    }
+
+    #[test]
+    fn t_twice_equals_s() {
+        let mut tt = Circuit::builder("tt", 1);
+        tt.h(0).t(0).t(0);
+        let mut ss = Circuit::builder("s", 1);
+        ss.h(0).s(0);
+        let a = simulate(&tt.finish()).unwrap();
+        let b = simulate(&ss.finish()).unwrap();
+        assert!(a.distance(&b) < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_basis_states() {
+        let mut b = Circuit::builder("swap", 2);
+        b.x(0).swap(0, 1);
+        let s = simulate(&b.finish()).unwrap();
+        assert_close(s.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_diagonal() {
+        let mut b = Circuit::builder("cz", 2);
+        b.x(0).x(1).cz(1, 0);
+        let s = simulate(&b.finish()).unwrap();
+        let amp = s.amplitude(0b11);
+        assert_close(amp.re, -1.0);
+        assert_close(amp.im, 0.0);
+    }
+
+    #[test]
+    fn y_gate_phases() {
+        let mut b = Circuit::builder("y", 1);
+        b.y(0);
+        let s = simulate(&b.finish()).unwrap();
+        let amp = s.amplitude(1);
+        assert_close(amp.re, 0.0);
+        assert_close(amp.im, 1.0); // Y|0> = i|1>
+    }
+
+    #[test]
+    fn hh_is_identity() {
+        let mut b = Circuit::builder("hh", 1);
+        b.h(0).h(0);
+        let s = simulate(&b.finish()).unwrap();
+        assert_close(s.probability(0), 1.0);
+        assert_close(s.amplitude(0).re, 1.0);
+    }
+
+    #[test]
+    fn measurement_is_rejected() {
+        let mut b = Circuit::builder("m", 1);
+        b.h(0).meas_z(0);
+        let err = simulate(&b.finish()).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.to_string().contains("not unitary"));
+    }
+
+    #[test]
+    fn state_is_normalized_after_random_gates() {
+        let mut b = Circuit::builder("norm", 3);
+        b.h(0).t(1).cnot(0, 2).s(2).cz(1, 2).swap(0, 1).tdg(0).y(2);
+        let s = simulate(&b.finish()).unwrap();
+        let total: f64 = (0..8).map(|i| s.probability(i)).sum();
+        assert_close(total, 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the IR: random circuits must always produce
+//! well-formed DAGs, round-trippable QASM, and consistent analyses.
+
+use proptest::prelude::*;
+use scq_ir::{
+    analysis, circuit_from_qasm, circuit_to_qasm, optimize, sim, Circuit, DependencyDag, Gate,
+    InteractionGraph,
+};
+
+/// Strategy producing an arbitrary *unitary* circuit (no prep/meas) on
+/// few qubits, suitable for statevector verification.
+fn arb_unitary_circuit(max_qubits: u32, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    let unitary: Vec<Gate> = Gate::ALL
+        .iter()
+        .copied()
+        .filter(|g| !g.is_measurement() && !g.is_preparation())
+        .collect();
+    (2..=max_qubits)
+        .prop_flat_map(move |n| {
+            let gates = unitary.clone();
+            let inst = (0usize..gates.len(), 0..n, 0..n.saturating_sub(1).max(1));
+            (Just(n), Just(gates), proptest::collection::vec(inst, 0..max_ops))
+        })
+        .prop_map(|(n, gates, raw)| {
+            let mut b = Circuit::builder("prop-unitary", n);
+            for (g, a, boff) in raw {
+                let gate = gates[g];
+                if gate.arity() == 1 {
+                    b.try_push(gate, &[a]).unwrap();
+                } else {
+                    let second = (a + 1 + boff) % n;
+                    if second != a {
+                        b.try_push(gate, &[a, second]).unwrap();
+                    }
+                }
+            }
+            b.finish()
+        })
+}
+
+/// Strategy producing an arbitrary well-formed circuit of up to
+/// `max_qubits` qubits and `max_ops` instructions.
+fn arb_circuit(max_qubits: u32, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    (2..=max_qubits)
+        .prop_flat_map(move |n| {
+            let inst = (0usize..Gate::ALL.len(), 0..n, 0..n.saturating_sub(1).max(1));
+            (Just(n), proptest::collection::vec(inst, 0..max_ops))
+        })
+        .prop_map(|(n, raw)| {
+            let mut b = Circuit::builder("prop", n);
+            for (g, a, boff) in raw {
+                let gate = Gate::ALL[g];
+                if gate.arity() == 1 {
+                    b.try_push(gate, &[a]).unwrap();
+                } else {
+                    // Derive a second operand distinct from the first.
+                    let second = (a + 1 + boff) % n;
+                    if second != a {
+                        b.try_push(gate, &[a, second]).unwrap();
+                    }
+                }
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #[test]
+    fn dag_invariants_hold(c in arb_circuit(12, 120)) {
+        let dag = DependencyDag::from_circuit(&c);
+        prop_assert!(dag.check_invariants());
+        prop_assert_eq!(dag.len(), c.len());
+    }
+
+    #[test]
+    fn depth_bounded_by_len_and_positive_parallelism(c in arb_circuit(10, 80)) {
+        let dag = DependencyDag::from_circuit(&c);
+        prop_assert!(dag.depth() <= c.len());
+        if !c.is_empty() {
+            prop_assert!(dag.parallelism_factor() >= 1.0 - 1e-12);
+            prop_assert!(dag.parallelism_factor() <= c.len() as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn level_widths_sum_to_total_ops(c in arb_circuit(10, 80)) {
+        let dag = DependencyDag::from_circuit(&c);
+        let total: usize = dag.level_widths().iter().sum();
+        prop_assert_eq!(total, c.len());
+    }
+
+    #[test]
+    fn criticality_never_below_one_nor_above_remaining_depth(c in arb_circuit(10, 80)) {
+        let dag = DependencyDag::from_circuit(&c);
+        for i in 0..dag.len() {
+            prop_assert!(dag.criticality(i) >= 1);
+            prop_assert!((dag.criticality(i) as usize) <= dag.depth());
+        }
+    }
+
+    #[test]
+    fn unit_weighted_cp_equals_depth(c in arb_circuit(8, 60)) {
+        let dag = DependencyDag::from_circuit(&c);
+        prop_assert_eq!(dag.weighted_critical_path(&c, |_, _| 1) as usize, dag.depth());
+    }
+
+    #[test]
+    fn qasm_roundtrip(c in arb_circuit(10, 60)) {
+        let text = circuit_to_qasm(&c);
+        let back = circuit_from_qasm(&text).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn interaction_graph_total_equals_two_qubit_count(c in arb_circuit(10, 80)) {
+        let g = InteractionGraph::from_circuit(&c);
+        prop_assert_eq!(g.total_weight() as usize, c.two_qubit_count());
+    }
+
+    #[test]
+    fn analysis_is_internally_consistent(c in arb_circuit(10, 80)) {
+        let stats = analysis::analyze(&c);
+        prop_assert_eq!(stats.total_ops, c.len());
+        let hist_total: usize = stats.gate_histogram.values().sum();
+        prop_assert_eq!(hist_total, c.len());
+        if !c.is_empty() {
+            let expect = c.len() as f64 / stats.depth as f64;
+            prop_assert!((stats.parallelism_factor - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn peephole_never_grows_circuits(c in arb_circuit(10, 100)) {
+        let (opt, stats) = optimize::peephole(&c);
+        prop_assert!(opt.len() <= c.len());
+        prop_assert!(opt.t_count() <= c.t_count());
+        prop_assert_eq!(c.len() - opt.len(), stats.removed());
+        let d_before = DependencyDag::from_circuit(&c).depth();
+        let d_after = DependencyDag::from_circuit(&opt).depth();
+        prop_assert!(d_after <= d_before);
+    }
+
+    #[test]
+    fn peephole_reaches_a_fixpoint(c in arb_circuit(8, 80)) {
+        let (once, _) = optimize::peephole(&c);
+        let (twice, stats) = optimize::peephole(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(stats.removed(), 0);
+    }
+
+    #[test]
+    fn peephole_preserves_semantics(c in arb_unitary_circuit(5, 40)) {
+        // The decisive test: the optimized circuit produces the exact
+        // same statevector (including global phase) as the original.
+        let (opt, _) = optimize::peephole(&c);
+        let before = sim::simulate(&c).unwrap();
+        let after = sim::simulate(&opt).unwrap();
+        prop_assert!(
+            before.distance(&after) < 1e-9,
+            "statevector changed by {}", before.distance(&after)
+        );
+    }
+
+    #[test]
+    fn simulation_preserves_norm(c in arb_unitary_circuit(5, 40)) {
+        let s = sim::simulate(&c).unwrap();
+        let total: f64 = (0..(1usize << c.num_qubits())).map(|i| s.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn append_preserves_instruction_count(
+        a in arb_circuit(6, 40),
+        b in arb_circuit(6, 40),
+        offset in 0u32..8,
+    ) {
+        let mut combined = a.clone();
+        combined.append(&b, offset);
+        prop_assert_eq!(combined.len(), a.len() + b.len());
+        prop_assert!(combined.num_qubits() >= a.num_qubits());
+        prop_assert!(combined.num_qubits() >= offset + b.num_qubits());
+    }
+}

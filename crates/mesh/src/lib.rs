@@ -1,0 +1,37 @@
+//! Circuit-switched 2D mesh network substrate for braid routing.
+//!
+//! The paper maps double-defect braiding onto "simulating a mesh network,
+//! with braids as messages in this network" (Section 6.1). This crate is
+//! that mesh: routers sit at tile corners, braids atomically claim whole
+//! routes (nodes and links) because defects can neither cross nor be
+//! buffered, and the fabric tracks the utilization statistic Figure 6
+//! reports.
+//!
+//! Three routing policies are provided, matching the braid scheduler's
+//! escalation ladder: dimension-ordered [`Mesh::route_xy`] /
+//! [`Mesh::route_yx`], and congestion-aware [`Mesh::route_adaptive`]
+//! (BFS over currently-free resources).
+//!
+//! # Examples
+//!
+//! ```
+//! use scq_mesh::{Coord, Mesh};
+//!
+//! let mut mesh = Mesh::new(8, 8);
+//! let a = mesh.route_xy(Coord::new(0, 0), Coord::new(7, 0));
+//! let b = mesh.route_xy(Coord::new(0, 1), Coord::new(7, 1));
+//! assert!(mesh.try_claim(&a, 1));
+//! assert!(mesh.try_claim(&b, 2)); // parallel rows don't conflict
+//! mesh.tick();
+//! assert!(mesh.utilization() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+#[allow(clippy::module_inception)]
+mod mesh;
+
+pub use coord::{Coord, Path};
+pub use mesh::{ClaimId, Mesh};

@@ -1,0 +1,485 @@
+//! The circuit-switched mesh: atomic path claims, routing, utilization.
+
+use std::collections::VecDeque;
+
+use crate::coord::{Coord, Path};
+
+/// Identifier of a path owner (one braid or message).
+pub type ClaimId = u32;
+
+const FREE: ClaimId = ClaimId::MAX;
+
+/// A 2D circuit-switched mesh of routers and links.
+///
+/// This models the braid fabric of the paper's Section 6.1: a braid is a
+/// *message* that claims an entire route — every link **and** every
+/// router on it — atomically in one cycle, holds it while syndrome
+/// measurements stabilize, and releases it when it closes. Because two
+/// defects cannot coexist nearby, there are no buffers and no virtual
+/// channels: a route is either entirely free or unusable
+/// ("braids differ from conventional messages": (a)-(d) in the paper).
+///
+/// The mesh also keeps the utilization statistics reported in Figure 6
+/// (red curve): call [`Mesh::tick`] once per simulated cycle.
+///
+/// # Examples
+///
+/// ```
+/// use scq_mesh::{Coord, Mesh};
+///
+/// let mut mesh = Mesh::new(4, 4);
+/// let path = mesh.route_xy(Coord::new(0, 0), Coord::new(3, 2));
+/// assert!(mesh.try_claim(&path, 7));
+/// // The same corridor is now unavailable to a second braid.
+/// assert!(!mesh.try_claim(&path, 8));
+/// mesh.release(&path, 7);
+/// assert!(mesh.try_claim(&path, 8));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    width: u32,
+    height: u32,
+    /// Horizontal link (x, y) connects (x, y) and (x+1, y); `(width-1) * height`.
+    h_links: Vec<ClaimId>,
+    /// Vertical link (x, y) connects (x, y) and (x, y+1); `width * (height-1)`.
+    v_links: Vec<ClaimId>,
+    /// Router occupancy.
+    nodes: Vec<ClaimId>,
+    busy_links: usize,
+    /// Accumulated busy-link-cycles for utilization.
+    busy_link_cycles: u64,
+    ticks: u64,
+}
+
+impl Mesh {
+    /// Creates an idle `width x height` router mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh {
+            width,
+            height,
+            h_links: vec![FREE; ((width - 1) * height) as usize],
+            v_links: vec![FREE; (width * (height - 1)) as usize],
+            nodes: vec![FREE; (width * height) as usize],
+            busy_links: 0,
+            busy_link_cycles: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Mesh width in routers.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Mesh height in routers.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of links.
+    pub fn num_links(&self) -> usize {
+        self.h_links.len() + self.v_links.len()
+    }
+
+    /// Number of currently claimed links.
+    pub fn busy_links(&self) -> usize {
+        self.busy_links
+    }
+
+    /// Returns `true` if `c` lies on the mesh.
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x < self.width && c.y < self.height
+    }
+
+    fn h_index(&self, x: u32, y: u32) -> usize {
+        (y * (self.width - 1) + x) as usize
+    }
+
+    fn v_index(&self, x: u32, y: u32) -> usize {
+        (y * self.width + x) as usize
+    }
+
+    fn node_index(&self, c: Coord) -> usize {
+        (c.y * self.width + c.x) as usize
+    }
+
+    fn link_slot(&mut self, a: Coord, b: Coord) -> &mut ClaimId {
+        debug_assert!(a.is_adjacent(b), "link endpoints must be adjacent");
+        if a.y == b.y {
+            let x = a.x.min(b.x);
+            let i = self.h_index(x, a.y);
+            &mut self.h_links[i]
+        } else {
+            let y = a.y.min(b.y);
+            let i = self.v_index(a.x, y);
+            &mut self.v_links[i]
+        }
+    }
+
+    fn link_owner(&self, a: Coord, b: Coord) -> ClaimId {
+        if a.y == b.y {
+            self.h_links[self.h_index(a.x.min(b.x), a.y)]
+        } else {
+            self.v_links[self.v_index(a.x, a.y.min(b.y))]
+        }
+    }
+
+    /// Returns `true` if every node and link of `path` is unclaimed (or
+    /// already claimed by `owner`, making re-claims idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path leaves the mesh.
+    pub fn is_path_free(&self, path: &Path, owner: ClaimId) -> bool {
+        for &n in path.nodes() {
+            assert!(self.contains(n), "path node {n} outside {}x{} mesh", self.width, self.height);
+            let o = self.nodes[self.node_index(n)];
+            if o != FREE && o != owner {
+                return false;
+            }
+        }
+        for (a, b) in path.links() {
+            let o = self.link_owner(a, b);
+            if o != FREE && o != owner {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Atomically claims every node and link of `path` for `owner`.
+    ///
+    /// Returns `false` (claiming nothing) if any resource is held by a
+    /// different owner — the braid cannot open this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path leaves the mesh or `owner` is the reserved
+    /// sentinel `ClaimId::MAX`.
+    pub fn try_claim(&mut self, path: &Path, owner: ClaimId) -> bool {
+        assert_ne!(owner, FREE, "ClaimId::MAX is reserved");
+        if !self.is_path_free(path, owner) {
+            return false;
+        }
+        for &n in path.nodes() {
+            let i = self.node_index(n);
+            self.nodes[i] = owner;
+        }
+        for (a, b) in path.links() {
+            let slot = self.link_slot(a, b);
+            if *slot == FREE {
+                *slot = owner;
+                self.busy_links += 1;
+            }
+        }
+        true
+    }
+
+    /// Releases a previously claimed path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any resource on the path is not held by `owner` —
+    /// releasing someone else's braid is always a scheduler bug.
+    pub fn release(&mut self, path: &Path, owner: ClaimId) {
+        for &n in path.nodes() {
+            let i = self.node_index(n);
+            assert_eq!(self.nodes[i], owner, "node {n} not owned by {owner}");
+            self.nodes[i] = FREE;
+        }
+        for (a, b) in path.links() {
+            let slot = self.link_slot(a, b);
+            assert_eq!(*slot, owner, "link not owned by {owner}");
+            *slot = FREE;
+            self.busy_links -= 1;
+        }
+    }
+
+    /// Dimension-ordered (X then Y) route between two routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is off the mesh.
+    pub fn route_xy(&self, src: Coord, dst: Coord) -> Path {
+        assert!(self.contains(src) && self.contains(dst), "endpoints must be on the mesh");
+        let mut nodes = vec![src];
+        let mut cur = src;
+        while cur.x != dst.x {
+            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            nodes.push(cur);
+        }
+        while cur.y != dst.y {
+            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            nodes.push(cur);
+        }
+        Path::new(nodes)
+    }
+
+    /// Dimension-ordered (Y then X) route between two routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is off the mesh.
+    pub fn route_yx(&self, src: Coord, dst: Coord) -> Path {
+        assert!(self.contains(src) && self.contains(dst), "endpoints must be on the mesh");
+        let mut nodes = vec![src];
+        let mut cur = src;
+        while cur.y != dst.y {
+            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            nodes.push(cur);
+        }
+        while cur.x != dst.x {
+            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            nodes.push(cur);
+        }
+        Path::new(nodes)
+    }
+
+    /// Shortest route from `src` to `dst` using only currently-free
+    /// resources (the adaptive escape route of Section 6.1's "route
+    /// adaptivity ... after certain timeouts"). Returns `None` when the
+    /// congestion leaves no free corridor.
+    ///
+    /// Resources held by `owner` itself count as free, so a braid may
+    /// re-route over its own footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is off the mesh.
+    pub fn route_adaptive(&self, src: Coord, dst: Coord, owner: ClaimId) -> Option<Path> {
+        assert!(self.contains(src) && self.contains(dst), "endpoints must be on the mesh");
+        let free_node = |c: Coord| {
+            let o = self.nodes[self.node_index(c)];
+            o == FREE || o == owner
+        };
+        if !free_node(src) || !free_node(dst) {
+            return None;
+        }
+        // BFS over free links/nodes; deterministic neighbor order
+        // (east, west, south, north) keeps results reproducible.
+        let n = (self.width * self.height) as usize;
+        let mut prev: Vec<Option<Coord>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[self.node_index(src)] = true;
+        queue.push_back(src);
+        'bfs: while let Some(cur) = queue.pop_front() {
+            let mut neighbors = Vec::with_capacity(4);
+            if cur.x + 1 < self.width {
+                neighbors.push(Coord::new(cur.x + 1, cur.y));
+            }
+            if cur.x > 0 {
+                neighbors.push(Coord::new(cur.x - 1, cur.y));
+            }
+            if cur.y + 1 < self.height {
+                neighbors.push(Coord::new(cur.x, cur.y + 1));
+            }
+            if cur.y > 0 {
+                neighbors.push(Coord::new(cur.x, cur.y - 1));
+            }
+            for next in neighbors {
+                let i = self.node_index(next);
+                if seen[i] || !free_node(next) {
+                    continue;
+                }
+                let link_owner = self.link_owner(cur, next);
+                if link_owner != FREE && link_owner != owner {
+                    continue;
+                }
+                seen[i] = true;
+                prev[i] = Some(cur);
+                if next == dst {
+                    break 'bfs;
+                }
+                queue.push_back(next);
+            }
+        }
+        if !seen[self.node_index(dst)] {
+            return None;
+        }
+        let mut nodes = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[self.node_index(cur)].expect("bfs predecessor chain");
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(Path::new(nodes))
+    }
+
+    /// Advances the utilization clock by one cycle, accumulating the
+    /// current busy-link count.
+    pub fn tick(&mut self) {
+        self.busy_link_cycles += self.busy_links as u64;
+        self.ticks += 1;
+    }
+
+    /// Average fraction of busy links over all ticked cycles — the
+    /// "Average Mesh Utilization" metric of Figure 6.
+    pub fn utilization(&self) -> f64 {
+        if self.ticks == 0 || self.num_links() == 0 {
+            return 0.0;
+        }
+        self.busy_link_cycles as f64 / (self.ticks as f64 * self.num_links() as f64)
+    }
+
+    /// Cycles ticked so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_count() {
+        let m = Mesh::new(4, 3);
+        // Horizontal: 3*3 = 9; vertical: 4*2 = 8.
+        assert_eq!(m.num_links(), 17);
+    }
+
+    #[test]
+    fn xy_and_yx_routes() {
+        let m = Mesh::new(5, 5);
+        let xy = m.route_xy(Coord::new(0, 0), Coord::new(3, 2));
+        assert_eq!(xy.len_hops(), 5);
+        assert_eq!(xy.nodes()[1], Coord::new(1, 0));
+        let yx = m.route_yx(Coord::new(0, 0), Coord::new(3, 2));
+        assert_eq!(yx.len_hops(), 5);
+        assert_eq!(yx.nodes()[1], Coord::new(0, 1));
+    }
+
+    #[test]
+    fn claims_are_atomic() {
+        let mut m = Mesh::new(4, 4);
+        let p1 = m.route_xy(Coord::new(0, 0), Coord::new(3, 0));
+        assert!(m.try_claim(&p1, 1));
+        // A crossing path shares node (2,0): claim must fail and leave
+        // no partial claims.
+        let p2 = m.route_xy(Coord::new(2, 0), Coord::new(2, 3));
+        let busy_before = m.busy_links();
+        assert!(!m.try_claim(&p2, 2));
+        assert_eq!(m.busy_links(), busy_before);
+        // A disjoint path succeeds.
+        let p3 = m.route_xy(Coord::new(0, 2), Coord::new(3, 2));
+        assert!(m.try_claim(&p3, 2));
+    }
+
+    #[test]
+    fn braids_cannot_cross() {
+        let mut m = Mesh::new(5, 5);
+        let horizontal = m.route_xy(Coord::new(0, 2), Coord::new(4, 2));
+        assert!(m.try_claim(&horizontal, 1));
+        // Any vertical path through the occupied row is blocked...
+        let vertical = m.route_xy(Coord::new(2, 0), Coord::new(2, 4));
+        assert!(!m.try_claim(&vertical, 2));
+        // ...and there is no adaptive way around a full-width wall.
+        assert!(m
+            .route_adaptive(Coord::new(2, 0), Coord::new(2, 4), 2)
+            .is_none());
+    }
+
+    #[test]
+    fn adaptive_routing_detours() {
+        let mut m = Mesh::new(5, 5);
+        // Block the middle of the direct row.
+        let wall = m.route_xy(Coord::new(2, 2), Coord::new(2, 3));
+        assert!(m.try_claim(&wall, 9));
+        let p = m
+            .route_adaptive(Coord::new(0, 2), Coord::new(4, 2), 1)
+            .expect("detour exists");
+        assert_eq!(p.source(), Coord::new(0, 2));
+        assert_eq!(p.dest(), Coord::new(4, 2));
+        assert!(p.len_hops() >= 6, "must detour, got {} hops", p.len_hops());
+        assert!(m.try_claim(&p, 1));
+    }
+
+    #[test]
+    fn adaptive_prefers_shortest_free() {
+        let m = Mesh::new(6, 6);
+        let p = m
+            .route_adaptive(Coord::new(1, 1), Coord::new(4, 3), 1)
+            .unwrap();
+        assert_eq!(p.len_hops() as u32, Coord::new(1, 1).manhattan(Coord::new(4, 3)));
+    }
+
+    #[test]
+    fn release_frees_resources() {
+        let mut m = Mesh::new(4, 4);
+        let p = m.route_xy(Coord::new(0, 0), Coord::new(3, 3));
+        assert!(m.try_claim(&p, 5));
+        assert_eq!(m.busy_links(), 6);
+        m.release(&p, 5);
+        assert_eq!(m.busy_links(), 0);
+        assert!(m.try_claim(&p, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn release_by_wrong_owner_panics() {
+        let mut m = Mesh::new(3, 3);
+        let p = m.route_xy(Coord::new(0, 0), Coord::new(2, 0));
+        assert!(m.try_claim(&p, 1));
+        m.release(&p, 2);
+    }
+
+    #[test]
+    fn reclaim_by_same_owner_is_idempotent() {
+        let mut m = Mesh::new(3, 3);
+        let p = m.route_xy(Coord::new(0, 0), Coord::new(2, 0));
+        assert!(m.try_claim(&p, 1));
+        assert!(m.try_claim(&p, 1));
+        assert_eq!(m.busy_links(), 2);
+        m.release(&p, 1);
+        assert_eq!(m.busy_links(), 0);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut m = Mesh::new(3, 3);
+        // 12 links total.
+        assert_eq!(m.num_links(), 12);
+        let p = m.route_xy(Coord::new(0, 0), Coord::new(2, 0)); // 2 links
+        assert!(m.try_claim(&p, 1));
+        m.tick();
+        m.tick();
+        m.release(&p, 1);
+        m.tick();
+        // (2 + 2 + 0) / (3 * 12)
+        let expect = 4.0 / 36.0;
+        assert!((m.utilization() - expect).abs() < 1e-12);
+        assert_eq!(m.ticks(), 3);
+    }
+
+    #[test]
+    fn utilization_of_idle_mesh_is_zero() {
+        let m = Mesh::new(2, 2);
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    #[test]
+    fn zero_hop_path_claims_single_node() {
+        let mut m = Mesh::new(3, 3);
+        let p = Path::new(vec![Coord::new(1, 1)]);
+        assert!(m.try_claim(&p, 1));
+        assert_eq!(m.busy_links(), 0);
+        // Another braid cannot use that router.
+        let crossing = m.route_xy(Coord::new(1, 0), Coord::new(1, 2));
+        assert!(!m.try_claim(&crossing, 2));
+        m.release(&p, 1);
+        assert!(m.try_claim(&crossing, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_size_mesh_rejected() {
+        let _ = Mesh::new(0, 3);
+    }
+}

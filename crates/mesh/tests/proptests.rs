@@ -1,0 +1,101 @@
+//! Property-based tests: mesh claims must be atomic, exclusive, and
+//! fully reversible; routes must be valid and shortest where promised.
+
+use proptest::prelude::*;
+use scq_mesh::{Coord, Mesh, Path};
+
+fn arb_mesh_and_endpoints() -> impl Strategy<Value = (u32, u32, Coord, Coord)> {
+    (2u32..12, 2u32..12).prop_flat_map(|(w, h)| {
+        ((0..w), (0..h), (0..w), (0..h))
+            .prop_map(move |(x1, y1, x2, y2)| (w, h, Coord::new(x1, y1), Coord::new(x2, y2)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn dimension_ordered_routes_are_shortest((w, h, a, b) in arb_mesh_and_endpoints()) {
+        let mesh = Mesh::new(w, h);
+        let xy = mesh.route_xy(a, b);
+        let yx = mesh.route_yx(a, b);
+        prop_assert_eq!(xy.len_hops() as u32, a.manhattan(b));
+        prop_assert_eq!(yx.len_hops() as u32, a.manhattan(b));
+        prop_assert_eq!(xy.source(), a);
+        prop_assert_eq!(xy.dest(), b);
+        // Dimension-ordered routes have at most one turn.
+        prop_assert!(xy.turns() <= 1);
+        prop_assert!(yx.turns() <= 1);
+    }
+
+    #[test]
+    fn adaptive_on_empty_mesh_is_shortest((w, h, a, b) in arb_mesh_and_endpoints()) {
+        let mesh = Mesh::new(w, h);
+        let p = mesh.route_adaptive(a, b, 1).expect("empty mesh always routes");
+        prop_assert_eq!(p.len_hops() as u32, a.manhattan(b));
+    }
+
+    #[test]
+    fn claim_release_restores_idle_state((w, h, a, b) in arb_mesh_and_endpoints()) {
+        let mut mesh = Mesh::new(w, h);
+        let p = mesh.route_xy(a, b);
+        prop_assert!(mesh.try_claim(&p, 7));
+        prop_assert_eq!(mesh.busy_links(), p.len_hops());
+        mesh.release(&p, 7);
+        prop_assert_eq!(mesh.busy_links(), 0);
+        // The same path can be claimed again by anyone.
+        prop_assert!(mesh.try_claim(&p, 8));
+    }
+
+    #[test]
+    fn failed_claims_leave_no_partial_state(
+        (w, h, a, b) in arb_mesh_and_endpoints(),
+        (x, y) in (0u32..12, 0u32..12),
+    ) {
+        let mut mesh = Mesh::new(w, h);
+        let blocker = Coord::new(x % w, y % h);
+        let single = Path::new(vec![blocker]);
+        prop_assert!(mesh.try_claim(&single, 1));
+        let busy_before = mesh.busy_links();
+        let p = mesh.route_xy(a, b);
+        let claimed = mesh.try_claim(&p, 2);
+        if claimed {
+            // Claim succeeded: the blocker was not on the route.
+            prop_assert!(p.nodes().iter().all(|&n| n != blocker));
+            mesh.release(&p, 2);
+        }
+        prop_assert_eq!(mesh.busy_links(), busy_before);
+    }
+
+    #[test]
+    fn adaptive_routes_avoid_claimed_resources(
+        (w, h, a, b) in arb_mesh_and_endpoints(),
+    ) {
+        let mut mesh = Mesh::new(w, h);
+        // Claim a random-ish wall in the middle row (partial, so a
+        // detour may exist).
+        let wall_y = h / 2;
+        let wall = mesh.route_xy(Coord::new(0, wall_y), Coord::new((w - 1) / 2, wall_y));
+        prop_assert!(mesh.try_claim(&wall, 99));
+        if let Some(p) = mesh.route_adaptive(a, b, 1) {
+            // The route never touches the wall's resources.
+            for &n in p.nodes() {
+                prop_assert!(
+                    !wall.nodes().contains(&n),
+                    "adaptive route crossed the wall at {}", n
+                );
+            }
+            prop_assert!(mesh.try_claim(&p, 1), "adaptive route must be claimable");
+        }
+    }
+
+    #[test]
+    fn utilization_is_bounded((w, h, a, b) in arb_mesh_and_endpoints()) {
+        let mut mesh = Mesh::new(w, h);
+        let p = mesh.route_xy(a, b);
+        let _ = mesh.try_claim(&p, 1);
+        for _ in 0..5 {
+            mesh.tick();
+        }
+        prop_assert!(mesh.utilization() >= 0.0);
+        prop_assert!(mesh.utilization() <= 1.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Weighted undirected graphs in adjacency (CSR-like) form.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An error constructing a [`Graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was at or beyond the vertex count.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: u32,
+        /// The graph's vertex count.
+        num_vertices: u32,
+    },
+    /// An edge connected a vertex to itself.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: u32,
+    },
+    /// An edge had zero weight (zero-weight edges carry no information
+    /// for partitioning and almost always indicate a caller bug).
+    ZeroWeight {
+        /// Edge endpoints.
+        edge: (u32, u32),
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph of {num_vertices} vertices"
+            ),
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex}"),
+            GraphError::ZeroWeight { edge } => {
+                write!(f, "zero-weight edge ({}, {})", edge.0, edge.1)
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// A weighted undirected graph with weighted vertices, stored in
+/// compressed adjacency form.
+///
+/// This is the input format of the partitioner — the same shape METIS
+/// accepts. Duplicate edges are merged by summing their weights.
+///
+/// # Examples
+///
+/// ```
+/// use scq_partition::Graph;
+///
+/// // A 4-cycle with one heavy chord.
+/// let g = Graph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 10)])
+///     .unwrap();
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 5);
+/// assert_eq!(g.degree_weight(0), 12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR offsets: neighbors of `v` are `adjncy[xadj[v]..xadj[v+1]]`.
+    xadj: Vec<usize>,
+    adjncy: Vec<u32>,
+    adjwgt: Vec<u64>,
+    vwgt: Vec<u64>,
+}
+
+impl Graph {
+    /// Builds a graph from an undirected edge list. Duplicate edges
+    /// (either orientation) are merged by summing weights. All vertex
+    /// weights are 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints, self-loops, or
+    /// zero-weight edges.
+    pub fn from_edges(
+        num_vertices: u32,
+        edges: &[(u32, u32, u64)],
+    ) -> Result<Self, GraphError> {
+        Self::from_edges_weighted(num_vertices, edges, &vec![1; num_vertices as usize])
+    }
+
+    /// Like [`Graph::from_edges`] but with explicit vertex weights.
+    ///
+    /// # Errors
+    ///
+    /// As [`Graph::from_edges`]; additionally the vertex weight slice
+    /// must have exactly `num_vertices` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertex_weights.len() != num_vertices as usize`.
+    pub fn from_edges_weighted(
+        num_vertices: u32,
+        edges: &[(u32, u32, u64)],
+        vertex_weights: &[u64],
+    ) -> Result<Self, GraphError> {
+        assert_eq!(
+            vertex_weights.len(),
+            num_vertices as usize,
+            "vertex weight count must equal vertex count"
+        );
+        let mut merged: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for &(a, b, w) in edges {
+            if a >= num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: a,
+                    num_vertices,
+                });
+            }
+            if b >= num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: b,
+                    num_vertices,
+                });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop { vertex: a });
+            }
+            if w == 0 {
+                return Err(GraphError::ZeroWeight { edge: (a, b) });
+            }
+            *merged.entry((a.min(b), a.max(b))).or_insert(0) += w;
+        }
+
+        let n = num_vertices as usize;
+        let mut deg = vec![0usize; n];
+        for &(a, b) in merged.keys() {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for v in 0..n {
+            xadj[v + 1] = xadj[v] + deg[v];
+        }
+        let m2 = xadj[n];
+        let mut adjncy = vec![0u32; m2];
+        let mut adjwgt = vec![0u64; m2];
+        let mut cursor = xadj.clone();
+        for (&(a, b), &w) in &merged {
+            adjncy[cursor[a as usize]] = b;
+            adjwgt[cursor[a as usize]] = w;
+            cursor[a as usize] += 1;
+            adjncy[cursor[b as usize]] = a;
+            adjwgt[cursor[b as usize]] = w;
+            cursor[b as usize] += 1;
+        }
+        Ok(Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt: vertex_weights.to_vec(),
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn vertex_weight(&self, v: u32) -> u64 {
+        self.vwgt[v as usize]
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.adjwgt.iter().sum::<u64>() / 2
+    }
+
+    /// Iterates over `(neighbor, edge_weight)` pairs of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let lo = self.xadj[v as usize];
+        let hi = self.xadj[v as usize + 1];
+        self.adjncy[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// Number of neighbors of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Total edge weight incident to `v`.
+    pub fn degree_weight(&self, v: u32) -> u64 {
+        let lo = self.xadj[v as usize];
+        let hi = self.xadj[v as usize + 1];
+        self.adjwgt[lo..hi].iter().sum()
+    }
+}
+
+/// Computes the weight of edges crossing a two-way assignment.
+///
+/// `assignment[v]` is the side (0 or 1) of vertex `v`.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != graph.num_vertices()`.
+pub fn cut_weight(graph: &Graph, assignment: &[u8]) -> u64 {
+    assert_eq!(
+        assignment.len(),
+        graph.num_vertices(),
+        "assignment length must equal vertex count"
+    );
+    let mut cut = 0;
+    for v in 0..graph.num_vertices() as u32 {
+        for (u, w) in graph.neighbors(v) {
+            if u > v && assignment[u as usize] != assignment[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_chord() -> Graph {
+        Graph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 10)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = square_with_chord();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.total_edge_weight(), 14);
+        assert_eq!(g.total_vertex_weight(), 4);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree_weight(1), 2);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = square_with_chord();
+        for v in 0..4u32 {
+            for (u, w) in g.neighbors(v) {
+                let back: Vec<(u32, u64)> =
+                    g.neighbors(u).filter(|&(x, _)| x == v).collect();
+                assert_eq!(back, vec![(v, w)]);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let g = Graph::from_edges(2, &[(0, 1, 3), (1, 0, 4)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_edge_weight(), 7);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 2, 1)]),
+            Err(GraphError::VertexOutOfRange { vertex: 2, .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(1, 1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 1, 0)]),
+            Err(GraphError::ZeroWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn vertex_weights_respected() {
+        let g = Graph::from_edges_weighted(3, &[(0, 1, 1)], &[5, 2, 9]).unwrap();
+        assert_eq!(g.vertex_weight(2), 9);
+        assert_eq!(g.total_vertex_weight(), 16);
+    }
+
+    #[test]
+    fn cut_weight_counts_crossing_edges() {
+        let g = square_with_chord();
+        // Split {0,1} | {2,3}: crossing edges are (1,2), (3,0), (0,2).
+        assert_eq!(cut_weight(&g, &[0, 0, 1, 1]), 12);
+        // Split {0,2} | {1,3}: crossing are the four cycle edges.
+        assert_eq!(cut_weight(&g, &[0, 1, 0, 1]), 4);
+        // Trivial split.
+        assert_eq!(cut_weight(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(cut_weight(&g, &[]), 0);
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = Graph::from_edges(2, &[(0, 5, 1)]).unwrap_err();
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,218 @@
+//! K-way partitioning by recursive bisection.
+
+use crate::bisect::{bisect, PartitionConfig};
+use crate::graph::Graph;
+
+/// The result of a k-way partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KwayPartition {
+    /// Part index (`0..num_parts`) of each vertex.
+    pub assignment: Vec<u32>,
+    /// Number of parts requested.
+    pub num_parts: u32,
+    /// Total weight of edges crossing between different parts.
+    pub cut: u64,
+}
+
+/// Partitions `graph` into `k` parts by recursive bisection, the scheme
+/// the paper applies ("iterative calls to a graph partitioning library"
+/// in Section 6.2).
+///
+/// Parts are weight-balanced proportionally: an odd `k` splits
+/// `ceil(k/2) : floor(k/2)` at each level.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use scq_partition::{partition_kway, Graph, PartitionConfig};
+///
+/// let edges: Vec<(u32, u32, u64)> = (0..15).map(|i| (i, i + 1, 1)).collect();
+/// let path = Graph::from_edges(16, &edges).unwrap();
+/// let p = partition_kway(&path, 4, &PartitionConfig::default());
+/// assert_eq!(p.num_parts, 4);
+/// assert!(p.cut <= 5);
+/// ```
+pub fn partition_kway(graph: &Graph, k: u32, config: &PartitionConfig) -> KwayPartition {
+    assert!(k >= 1, "partition_kway: k must be positive");
+    let n = graph.num_vertices();
+    let mut assignment = vec![0u32; n];
+    let all: Vec<u32> = (0..n as u32).collect();
+    recurse(graph, &all, 0, k, config, &mut assignment);
+    let cut = kway_cut(graph, &assignment);
+    KwayPartition {
+        assignment,
+        num_parts: k,
+        cut,
+    }
+}
+
+/// Computes the total weight of edges whose endpoints lie in different
+/// parts.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != graph.num_vertices()`.
+pub fn kway_cut(graph: &Graph, assignment: &[u32]) -> u64 {
+    assert_eq!(
+        assignment.len(),
+        graph.num_vertices(),
+        "assignment length must equal vertex count"
+    );
+    let mut cut = 0;
+    for v in 0..graph.num_vertices() as u32 {
+        for (u, w) in graph.neighbors(v) {
+            if u > v && assignment[u as usize] != assignment[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+fn recurse(
+    graph: &Graph,
+    vertices: &[u32],
+    first_part: u32,
+    k: u32,
+    config: &PartitionConfig,
+    assignment: &mut [u32],
+) {
+    if k == 1 || vertices.is_empty() {
+        for &v in vertices {
+            assignment[v as usize] = first_part;
+        }
+        return;
+    }
+    let k_left = k.div_ceil(2);
+    let k_right = k - k_left;
+
+    // Induced subgraph over `vertices`.
+    let mut local_of = vec![u32::MAX; graph.num_vertices()];
+    for (i, &v) in vertices.iter().enumerate() {
+        local_of[v as usize] = i as u32;
+    }
+    let mut edges = Vec::new();
+    let mut vwgt = Vec::with_capacity(vertices.len());
+    for (i, &v) in vertices.iter().enumerate() {
+        vwgt.push(graph.vertex_weight(v));
+        for (u, w) in graph.neighbors(v) {
+            let lu = local_of[u as usize];
+            if lu != u32::MAX && lu > i as u32 {
+                edges.push((i as u32, lu, w));
+            }
+        }
+    }
+    let sub = Graph::from_edges_weighted(vertices.len() as u32, &edges, &vwgt)
+        .expect("induced subgraph construction cannot fail");
+
+    let sub_config = PartitionConfig {
+        target_left_fraction: f64::from(k_left) / f64::from(k),
+        ..*config
+    };
+    let bi = bisect(&sub, &sub_config);
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (i, &v) in vertices.iter().enumerate() {
+        if bi.assignment[i] == 0 {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    recurse(graph, &left, first_part, k_left, config, assignment);
+    recurse(graph, &right, first_part + k_left, k_right, config, assignment);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(w: u32, h: u32) -> Graph {
+        let mut edges = Vec::new();
+        let id = |x: u32, y: u32| y * w + x;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((id(x, y), id(x + 1, y), 1));
+                }
+                if y + 1 < h {
+                    edges.push((id(x, y), id(x, y + 1), 1));
+                }
+            }
+        }
+        Graph::from_edges(w * h, &edges).unwrap()
+    }
+
+    #[test]
+    fn four_way_grid_is_balanced() {
+        let g = grid(8, 8);
+        let p = partition_kway(&g, 4, &PartitionConfig::default());
+        let mut sizes = [0usize; 4];
+        for &part in &p.assignment {
+            sizes[part as usize] += 1;
+        }
+        for (i, &s) in sizes.iter().enumerate() {
+            assert!((12..=20).contains(&s), "part {i} has {s} vertices");
+        }
+        // A good 4-way cut of an 8x8 grid is ~16 (two straight cuts).
+        assert!(p.cut <= 28, "cut = {}", p.cut);
+    }
+
+    #[test]
+    fn all_parts_used() {
+        let g = grid(6, 6);
+        for k in [2u32, 3, 5, 6] {
+            let p = partition_kway(&g, k, &PartitionConfig::default());
+            let mut seen = vec![false; k as usize];
+            for &part in &p.assignment {
+                assert!(part < k);
+                seen[part as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "k={k}: some part empty");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_is_trivial() {
+        let g = grid(4, 4);
+        let p = partition_kway(&g, 1, &PartitionConfig::default());
+        assert!(p.assignment.iter().all(|&a| a == 0));
+        assert_eq!(p.cut, 0);
+    }
+
+    #[test]
+    fn k_exceeding_vertices_leaves_empty_parts_but_valid_indices() {
+        let g = grid(2, 1);
+        let p = partition_kway(&g, 5, &PartitionConfig::default());
+        assert_eq!(p.assignment.len(), 2);
+        assert!(p.assignment.iter().all(|&a| a < 5));
+    }
+
+    #[test]
+    fn kway_cut_matches_manual_count() {
+        let g = grid(2, 2);
+        // Parts: {0,1} and {2,3}: crossing edges are the two verticals.
+        assert_eq!(kway_cut(&g, &[0, 0, 1, 1]), 2);
+        assert_eq!(kway_cut(&g, &[0, 1, 2, 3]), 4);
+        assert_eq!(kway_cut(&g, &[7, 7, 7, 7]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_parts_rejected() {
+        let g = grid(2, 2);
+        partition_kway(&g, 0, &PartitionConfig::default());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid(10, 10);
+        let cfg = PartitionConfig::default();
+        assert_eq!(partition_kway(&g, 6, &cfg), partition_kway(&g, 6, &cfg));
+    }
+}

@@ -1,0 +1,171 @@
+//! Reference syndrome decoder: greedy minimum-weight matching.
+//!
+//! Surface codes decode by pairing anomalous syndrome events in the 3D
+//! space-time volume of syndrome measurements (paper Section 2.3, via
+//! Edmonds' matching [25]). The evaluation figures never simulate
+//! per-shot decoding — the aggregate Fowler error-rate law stands in —
+//! but a reference decoder is included so the error-correction story is
+//! complete and testable. The implementation is a greedy nearest-pair
+//! matcher: same asymptotic interface as MWPM, adequate for tests.
+
+use std::fmt;
+
+/// A detected syndrome anomaly at lattice position `(x, y)` and
+/// measurement round `t`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SyndromePoint {
+    /// Lattice column.
+    pub x: u32,
+    /// Lattice row.
+    pub y: u32,
+    /// Measurement round (time slice in the space-time volume).
+    pub t: u32,
+}
+
+impl SyndromePoint {
+    /// Creates a syndrome point.
+    pub fn new(x: u32, y: u32, t: u32) -> Self {
+        SyndromePoint { x, y, t }
+    }
+
+    /// Space-time Manhattan distance to `other` — the matching weight.
+    pub fn distance(self, other: SyndromePoint) -> u64 {
+        let dx = u64::from(self.x.abs_diff(other.x));
+        let dy = u64::from(self.y.abs_diff(other.y));
+        let dt = u64::from(self.t.abs_diff(other.t));
+        dx + dy + dt
+    }
+}
+
+impl fmt::Display for SyndromePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, t{})", self.x, self.y, self.t)
+    }
+}
+
+/// A pairing of syndrome points produced by [`match_syndromes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Matching {
+    /// Matched pairs; each point appears in at most one pair.
+    pub pairs: Vec<(SyndromePoint, SyndromePoint)>,
+    /// A leftover unmatched point, if the input had odd parity (real
+    /// decoders match it to the lattice boundary).
+    pub boundary: Option<SyndromePoint>,
+}
+
+impl Matching {
+    /// Total space-time weight of all matched pairs.
+    pub fn total_weight(&self) -> u64 {
+        self.pairs.iter().map(|(a, b)| a.distance(*b)).sum()
+    }
+}
+
+/// Pairs up syndrome points greedily by increasing mutual distance.
+///
+/// Repeatedly selects the globally closest unmatched pair — `O(n^2 log n)`
+/// on the candidate-pair heap. Greedy matching is within a small factor
+/// of optimal for the sparse, well-separated syndromes of a
+/// below-threshold device, which is the regime every figure in the paper
+/// assumes.
+pub fn match_syndromes(points: &[SyndromePoint]) -> Matching {
+    let n = points.len();
+    let mut pairs_by_dist: Vec<(u64, usize, usize)> =
+        Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs_by_dist.push((points[i].distance(points[j]), i, j));
+        }
+    }
+    pairs_by_dist.sort_unstable();
+
+    let mut used = vec![false; n];
+    let mut matching = Matching::default();
+    for (_, i, j) in pairs_by_dist {
+        if !used[i] && !used[j] {
+            used[i] = true;
+            used[j] = true;
+            matching.pairs.push((points[i], points[j]));
+        }
+    }
+    matching.boundary = used
+        .iter()
+        .position(|&u| !u)
+        .map(|i| points[i]);
+    matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_matches_nothing() {
+        let m = match_syndromes(&[]);
+        assert!(m.pairs.is_empty());
+        assert!(m.boundary.is_none());
+    }
+
+    #[test]
+    fn single_point_goes_to_boundary() {
+        let p = SyndromePoint::new(1, 2, 3);
+        let m = match_syndromes(&[p]);
+        assert!(m.pairs.is_empty());
+        assert_eq!(m.boundary, Some(p));
+    }
+
+    #[test]
+    fn adjacent_error_pair_is_matched_together() {
+        // A single physical error flips two adjacent syndromes.
+        let a = SyndromePoint::new(3, 3, 0);
+        let b = SyndromePoint::new(4, 3, 0);
+        let far = SyndromePoint::new(20, 20, 0);
+        let far2 = SyndromePoint::new(21, 20, 0);
+        let m = match_syndromes(&[a, far, b, far2]);
+        assert_eq!(m.pairs.len(), 2);
+        assert!(m.pairs.contains(&(a, b)) || m.pairs.contains(&(b, a)));
+        assert_eq!(m.total_weight(), 2);
+    }
+
+    #[test]
+    fn every_point_appears_once() {
+        let points: Vec<SyndromePoint> = (0..9)
+            .map(|i| SyndromePoint::new(i * 3 % 7, i, i % 4))
+            .collect();
+        let m = match_syndromes(&points);
+        let mut seen = Vec::new();
+        for (a, b) in &m.pairs {
+            seen.push(*a);
+            seen.push(*b);
+        }
+        if let Some(b) = m.boundary {
+            seen.push(b);
+        }
+        seen.sort();
+        let mut expect = points.clone();
+        expect.sort();
+        assert_eq!(seen, expect);
+        // Odd count => one boundary point.
+        assert!(m.boundary.is_some());
+        assert_eq!(m.pairs.len(), 4);
+    }
+
+    #[test]
+    fn measurement_error_pairs_across_time() {
+        // A measurement error shows as two events at the same place in
+        // consecutive rounds.
+        let a = SyndromePoint::new(5, 5, 2);
+        let b = SyndromePoint::new(5, 5, 3);
+        let m = match_syndromes(&[a, b]);
+        assert_eq!(m.pairs, vec![(a, b)]);
+        assert_eq!(m.total_weight(), 1);
+    }
+
+    #[test]
+    fn distance_is_symmetric_manhattan() {
+        let a = SyndromePoint::new(0, 0, 0);
+        let b = SyndromePoint::new(2, 3, 1);
+        assert_eq!(a.distance(b), 6);
+        assert_eq!(b.distance(a), 6);
+        assert_eq!(a.distance(a), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Logical-level ancilla factories: magic states and EPR pairs.
+//!
+//! Paper Section 4.3: dedicated regions of the architecture continuously
+//! prepare the ancillas that T gates (magic states) and teleportations
+//! (EPR pairs) consume. Factories are modeled by footprint and supply
+//! rate — the two quantities the space-time estimate depends on.
+
+use std::fmt;
+
+/// Sizing rules for ancilla factories.
+///
+/// Defaults encode the paper's constants: a magic-state factory occupies
+/// 12 logical tiles, and a 1:4 ancilla-to-data footprint ratio gives a
+/// good space-time balance (Section 4.3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FactoryConfig {
+    /// Logical tiles occupied by one magic-state factory.
+    pub magic_factory_tiles: u32,
+    /// Logical tiles occupied by one EPR factory (EPR pairs are Clifford
+    /// states — far cheaper to distill than magic states).
+    pub epr_factory_tiles: u32,
+    /// Target ancilla-factory footprint as a fraction of data footprint
+    /// (the paper's empirical 1:4 ratio).
+    pub ancilla_data_ratio: f64,
+    /// Magic states produced per factory per code-distance-d rounds
+    /// (one distillation per logical timestep).
+    pub magic_states_per_round: f64,
+    /// EPR pairs produced per factory per logical timestep.
+    pub epr_pairs_per_round: f64,
+}
+
+impl Default for FactoryConfig {
+    fn default() -> Self {
+        FactoryConfig {
+            magic_factory_tiles: 12,
+            epr_factory_tiles: 4,
+            ancilla_data_ratio: 0.25,
+            magic_states_per_round: 1.0,
+            epr_pairs_per_round: 2.0,
+        }
+    }
+}
+
+/// A provisioned set of ancilla factories for a machine with a given
+/// number of data tiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FactoryProvision {
+    /// Number of magic-state factories.
+    pub magic_factories: u32,
+    /// Number of EPR factories (zero for braid-based machines).
+    pub epr_factories: u32,
+    /// Total logical tiles the factories occupy.
+    pub total_tiles: u64,
+}
+
+impl FactoryConfig {
+    /// Provisions factories for `data_tiles` logical data qubits.
+    ///
+    /// The ancilla footprint follows the 1:4 ratio, split between magic
+    /// and EPR factories; `with_epr = false` (braid-based machines need
+    /// no EPR supply) dedicates the whole budget to magic states. At
+    /// least one factory of each requested kind is always provisioned.
+    pub fn provision(&self, data_tiles: u64, with_epr: bool) -> FactoryProvision {
+        let budget = (data_tiles as f64 * self.ancilla_data_ratio).ceil() as u64;
+        let (magic_budget, epr_budget) = if with_epr {
+            // Magic states dominate distillation cost; give them 3/4.
+            (budget * 3 / 4, budget / 4)
+        } else {
+            (budget, 0)
+        };
+        let magic_factories =
+            (magic_budget / u64::from(self.magic_factory_tiles)).max(1) as u32;
+        let epr_factories = if with_epr {
+            (epr_budget / u64::from(self.epr_factory_tiles)).max(1) as u32
+        } else {
+            0
+        };
+        let total_tiles = u64::from(magic_factories) * u64::from(self.magic_factory_tiles)
+            + u64::from(epr_factories) * u64::from(self.epr_factory_tiles);
+        FactoryProvision {
+            magic_factories,
+            epr_factories,
+            total_tiles,
+        }
+    }
+
+    /// Logical timesteps needed to supply `t_count` magic states with
+    /// `factories` running continuously (the time-side cost of skimping
+    /// on factory space).
+    pub fn magic_supply_rounds(&self, t_count: u64, factories: u32) -> f64 {
+        if t_count == 0 {
+            return 0.0;
+        }
+        t_count as f64 / (f64::from(factories.max(1)) * self.magic_states_per_round)
+    }
+}
+
+impl fmt::Display for FactoryProvision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} magic-state factories, {} EPR factories ({} tiles)",
+            self.magic_factories, self.epr_factories, self.total_tiles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_respects_quarter_ratio() {
+        let cfg = FactoryConfig::default();
+        let p = cfg.provision(1000, true);
+        let ratio = p.total_tiles as f64 / 1000.0;
+        assert!(
+            ratio > 0.15 && ratio < 0.35,
+            "ancilla:data ratio {ratio} not near 1:4"
+        );
+    }
+
+    #[test]
+    fn braid_machines_get_no_epr_factories() {
+        let cfg = FactoryConfig::default();
+        let p = cfg.provision(400, false);
+        assert_eq!(p.epr_factories, 0);
+        assert!(p.magic_factories >= 1);
+    }
+
+    #[test]
+    fn small_machines_get_at_least_one_factory() {
+        let cfg = FactoryConfig::default();
+        let p = cfg.provision(4, true);
+        assert_eq!(p.magic_factories, 1);
+        assert_eq!(p.epr_factories, 1);
+    }
+
+    #[test]
+    fn more_data_tiles_mean_more_factories() {
+        let cfg = FactoryConfig::default();
+        let small = cfg.provision(100, true);
+        let big = cfg.provision(10_000, true);
+        assert!(big.magic_factories > small.magic_factories);
+        assert!(big.epr_factories > small.epr_factories);
+    }
+
+    #[test]
+    fn supply_rounds_scale_inversely_with_factories() {
+        let cfg = FactoryConfig::default();
+        let slow = cfg.magic_supply_rounds(1000, 1);
+        let fast = cfg.magic_supply_rounds(1000, 10);
+        assert!((slow / fast - 10.0).abs() < 1e-9);
+        assert_eq!(cfg.magic_supply_rounds(0, 5), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let p = FactoryConfig::default().provision(100, true);
+        let s = p.to_string();
+        assert!(s.contains("magic-state"), "{s}");
+    }
+}

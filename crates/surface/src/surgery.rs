@@ -1,0 +1,120 @@
+//! Lattice surgery: the third communication option (paper Section 8.2).
+//!
+//! Lattice surgery merges and splits adjacent planar patches by toggling
+//! the syndrome measurements on their shared boundary. The paper
+//! *discusses* it as a hybrid — planar-sized tiles with
+//! nearest-neighbor-only interactions — but does not evaluate it:
+//! "the chain of merges and splits does not have the benefits of braids
+//! (fast movement) nor teleportation (prefetchability)", and optimal
+//! surgery scheduling is NP-hard [37]. Mirroring the paper, this module
+//! models only the geometry and unit costs, so the tradeoff can be
+//! *stated* quantitatively; there is deliberately no surgery scheduler.
+
+use crate::tile::{Encoding, TileGeometry};
+
+/// Unit costs of lattice-surgery communication between two patches at
+/// distance `k` tiles: `k` merge+split pairs, each taking `d` rounds of
+/// syndrome measurement.
+///
+/// # Examples
+///
+/// ```
+/// use scq_surface::surgery::SurgeryCost;
+///
+/// let cost = SurgeryCost::between(5, 4);
+/// assert_eq!(cost.merge_split_pairs, 4);
+/// assert_eq!(cost.cycles, 2 * 4 * 5); // 2 ops per hop, d cycles each
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SurgeryCost {
+    /// Number of merge+split operation pairs along the chain.
+    pub merge_split_pairs: u32,
+    /// Total EC cycles: each merge or split needs `d` rounds before its
+    /// joint measurement outcome is reliable.
+    pub cycles: u64,
+}
+
+impl SurgeryCost {
+    /// Cost of communicating across `distance_tiles` adjacent patches at
+    /// code distance `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is even (surface-code distances are odd).
+    pub fn between(d: u32, distance_tiles: u32) -> Self {
+        assert!(d % 2 == 1, "surface code distance must be odd, got {d}");
+        SurgeryCost {
+            merge_split_pairs: distance_tiles,
+            cycles: 2 * u64::from(distance_tiles) * u64::from(d),
+        }
+    }
+}
+
+/// Physical qubits of one lattice-surgery patch: planar-sized (the
+/// whole point of the hybrid), plus a one-lattice-row merge boundary.
+pub fn patch_qubits(d: u32) -> u64 {
+    let planar = TileGeometry::new(Encoding::Planar, d).physical_qubits();
+    planar + u64::from(2 * d - 1)
+}
+
+/// Why the paper sets lattice surgery aside: at distance `k` the chain
+/// cost `2kd` cycles is distance-*dependent* (unlike braids) and happens
+/// at the point of use (unlike EPR distribution). Returns `(vs_braid,
+/// vs_teleport)` cycle overheads for a quick comparison.
+pub fn overhead_vs_alternatives(d: u32, distance_tiles: u32) -> (i64, i64) {
+    let surgery = SurgeryCost::between(d, distance_tiles).cycles as i64;
+    let braid = i64::from(2 * (d + 1));
+    let teleport = 3i64;
+    (surgery - braid, surgery - teleport)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_linearly_with_distance() {
+        let near = SurgeryCost::between(5, 1);
+        let far = SurgeryCost::between(5, 10);
+        assert_eq!(far.cycles, 10 * near.cycles);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_code_distance() {
+        assert_eq!(SurgeryCost::between(3, 4).cycles, 24);
+        assert_eq!(SurgeryCost::between(9, 4).cycles, 72);
+    }
+
+    #[test]
+    fn patches_stay_planar_sized() {
+        let patch = patch_qubits(5);
+        let planar = TileGeometry::new(Encoding::Planar, 5).physical_qubits();
+        let dd = TileGeometry::new(Encoding::DoubleDefect, 5).physical_qubits();
+        assert!(patch >= planar);
+        assert!(patch < dd, "surgery patches must be smaller than DD cells");
+    }
+
+    #[test]
+    fn surgery_loses_both_comparisons_at_distance() {
+        // The paper's Section 8.2 argument: no braid speed, no teleport
+        // prefetchability — at any nontrivial distance it costs more
+        // cycles than either.
+        let (vs_braid, vs_teleport) = overhead_vs_alternatives(5, 8);
+        assert!(vs_braid > 0);
+        assert!(vs_teleport > 0);
+    }
+
+    #[test]
+    fn adjacent_surgery_is_competitive() {
+        // At distance 1 the merge/split chain is short: this is the
+        // regime later work (lattice-surgery-only architectures) exploits.
+        let (vs_braid, _) = overhead_vs_alternatives(5, 1);
+        assert!(vs_braid <= 0, "adjacent surgery should not lose to a braid");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_distance_rejected() {
+        let _ = SurgeryCost::between(4, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Physical technology model for superconducting qubits.
+
+use std::fmt;
+
+/// Physical characteristics of the superconducting substrate
+/// (paper Section 2.4).
+///
+/// The toolflow consumes exactly three things from the hardware: the
+/// physical error rate `p_physical`, the gate/measurement latencies that
+/// set the error-correction cycle time, and nothing else — which is what
+/// makes the design-space sweeps of Figures 7-9 possible.
+///
+/// Defaults follow the paper's assumptions: single-qubit operations are
+/// 10x faster than two-qubit operations, and clock rates sit in the
+/// 10-100 MHz range.
+///
+/// # Examples
+///
+/// ```
+/// use scq_surface::Technology;
+///
+/// let tech = Technology::superconducting_optimistic();
+/// assert_eq!(tech.p_physical, 1e-8);
+/// assert!(tech.ec_cycle_seconds() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Technology {
+    /// Physical error rate per operation (the paper sweeps 1e-8..1e-3).
+    pub p_physical: f64,
+    /// Single-qubit gate latency in seconds.
+    pub t_1q: f64,
+    /// Two-qubit gate latency in seconds.
+    pub t_2q: f64,
+    /// Measurement latency in seconds.
+    pub t_meas: f64,
+}
+
+impl Technology {
+    /// Current-generation superconducting hardware: `p = 1e-3`
+    /// (paper Section 2.2: reliabilities of 99.9%).
+    pub fn superconducting_current() -> Self {
+        Technology {
+            p_physical: 1e-3,
+            ..Self::base_timings()
+        }
+    }
+
+    /// Future optimistic hardware: `p = 1e-8` (used for Figures 7 and 8).
+    pub fn superconducting_optimistic() -> Self {
+        Technology {
+            p_physical: 1e-8,
+            ..Self::base_timings()
+        }
+    }
+
+    /// Base gate timings with a placeholder error rate; callers override
+    /// `p_physical` via [`Technology::with_error_rate`].
+    fn base_timings() -> Self {
+        Technology {
+            p_physical: 1e-5,
+            t_1q: 5e-9,
+            t_2q: 50e-9,
+            t_meas: 100e-9,
+        }
+    }
+
+    /// Returns a copy with a different physical error rate (the sweep
+    /// axis of Figure 9).
+    pub fn with_error_rate(self, p_physical: f64) -> Self {
+        assert!(
+            p_physical > 0.0 && p_physical < 1.0,
+            "physical error rate must be in (0, 1)"
+        );
+        Technology { p_physical, ..self }
+    }
+
+    /// Duration of one surface-code error-correction cycle in seconds.
+    ///
+    /// One cycle interleaves 4 CNOTs with ancilla initialization, basis
+    /// changes, and measurement: `4*t_2q + 3*t_1q + t_meas`.
+    pub fn ec_cycle_seconds(&self) -> f64 {
+        4.0 * self.t_2q + 3.0 * self.t_1q + self.t_meas
+    }
+
+    /// Number of physical gate steps one EC cycle comprises; used to
+    /// convert physical swap chains into EC-cycle latencies.
+    pub fn steps_per_ec_cycle(&self) -> f64 {
+        self.ec_cycle_seconds() / self.t_2q
+    }
+}
+
+impl Default for Technology {
+    /// Defaults to [`Technology::superconducting_current`].
+    fn default() -> Self {
+        Self::superconducting_current()
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "superconducting: p={:.1e}, 2q gate {:.0} ns, EC cycle {:.0} ns",
+            self.p_physical,
+            self.t_2q * 1e9,
+            self.ec_cycle_seconds() * 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_only_in_error_rate() {
+        let cur = Technology::superconducting_current();
+        let opt = Technology::superconducting_optimistic();
+        assert_eq!(cur.p_physical, 1e-3);
+        assert_eq!(opt.p_physical, 1e-8);
+        assert_eq!(cur.t_2q, opt.t_2q);
+    }
+
+    #[test]
+    fn one_qubit_ops_are_10x_faster() {
+        let t = Technology::default();
+        assert!((t.t_2q / t.t_1q - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ec_cycle_is_sub_microsecond() {
+        let t = Technology::default();
+        let cycle = t.ec_cycle_seconds();
+        assert!(cycle > 100e-9 && cycle < 1e-6, "cycle = {cycle}");
+    }
+
+    #[test]
+    fn with_error_rate_overrides() {
+        let t = Technology::default().with_error_rate(1e-6);
+        assert_eq!(t.p_physical, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1)")]
+    fn rejects_invalid_error_rate() {
+        let _ = Technology::default().with_error_rate(0.0);
+    }
+
+    #[test]
+    fn steps_per_cycle_is_positive() {
+        let t = Technology::default();
+        assert!(t.steps_per_ec_cycle() > 4.0);
+    }
+
+    #[test]
+    fn display_mentions_error_rate() {
+        let s = Technology::superconducting_optimistic().to_string();
+        assert!(s.contains("1.0e-8"), "{s}");
+    }
+}

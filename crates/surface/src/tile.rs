@@ -1,0 +1,202 @@
+//! Tile geometry of the two surface-code encodings.
+
+use std::fmt;
+
+/// The two surface-code variants the paper compares (Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Encoding {
+    /// Planar encoding: one standalone lattice per logical qubit,
+    /// communicating by teleportation (Multi-SIMD architecture).
+    Planar,
+    /// Double-defect encoding: defect pairs in a monolithic lattice,
+    /// communicating by braiding (tiled architecture).
+    DoubleDefect,
+}
+
+impl Encoding {
+    /// Both encodings, planar first (the paper's baseline).
+    pub const ALL: [Encoding; 2] = [Encoding::Planar, Encoding::DoubleDefect];
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Planar => "planar",
+            Encoding::DoubleDefect => "double-defect",
+        }
+    }
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Physical footprint of one logical qubit tile at a given code distance.
+///
+/// - **Planar**: a distance-`d` planar lattice is a `(2d-1) x (2d-1)`
+///   grid of alternating data and syndrome qubits (Figure 1a).
+/// - **Double-defect**: the defect pair plus the braid workspace around
+///   it occupies a `4d x 2d` cell (Figure 1b) — about twice the planar
+///   area at equal distance, which is the paper's "planar tiles are
+///   smaller" observation.
+///
+/// # Examples
+///
+/// ```
+/// use scq_surface::{Encoding, TileGeometry};
+///
+/// let planar = TileGeometry::new(Encoding::Planar, 5);
+/// let dd = TileGeometry::new(Encoding::DoubleDefect, 5);
+/// assert_eq!(planar.physical_qubits(), 81);
+/// assert_eq!(dd.physical_qubits(), 200);
+/// assert!(dd.physical_qubits() > planar.physical_qubits());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TileGeometry {
+    encoding: Encoding,
+    distance: u32,
+}
+
+impl TileGeometry {
+    /// Creates the geometry of one logical tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is even or zero.
+    pub fn new(encoding: Encoding, distance: u32) -> Self {
+        assert!(
+            distance % 2 == 1,
+            "surface code distance must be odd, got {distance}"
+        );
+        TileGeometry { encoding, distance }
+    }
+
+    /// The encoding of this tile.
+    pub fn encoding(self) -> Encoding {
+        self.encoding
+    }
+
+    /// The code distance of this tile.
+    pub fn distance(self) -> u32 {
+        self.distance
+    }
+
+    /// Physical qubits (data + syndrome ancilla) in one logical tile.
+    pub fn physical_qubits(self) -> u64 {
+        let d = u64::from(self.distance);
+        match self.encoding {
+            Encoding::Planar => (2 * d - 1) * (2 * d - 1),
+            Encoding::DoubleDefect => 8 * d * d,
+        }
+    }
+
+    /// Width of the tile in physical qubit columns — the length of a
+    /// swap chain crossing one tile horizontally.
+    pub fn tile_width(self) -> u64 {
+        let d = u64::from(self.distance);
+        match self.encoding {
+            Encoding::Planar => 2 * d - 1,
+            Encoding::DoubleDefect => 4 * d,
+        }
+    }
+
+    /// Height of the tile in physical qubit rows.
+    pub fn tile_height(self) -> u64 {
+        let d = u64::from(self.distance);
+        match self.encoding {
+            Encoding::Planar => 2 * d - 1,
+            Encoding::DoubleDefect => 2 * d,
+        }
+    }
+
+    /// Multiplicative overhead for the inter-tile communication fabric:
+    /// braid channels between double-defect tiles (25%), swap lanes
+    /// between planar regions (12.5% — half as wide, since EPR halves
+    /// share lanes with teleport buffers).
+    pub fn channel_overhead(self) -> f64 {
+        match self.encoding {
+            Encoding::Planar => 0.125,
+            Encoding::DoubleDefect => 0.25,
+        }
+    }
+}
+
+impl fmt::Display for TileGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tile, d={}, {} physical qubits",
+            self.encoding,
+            self.distance,
+            self.physical_qubits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_matches_lattice_formula() {
+        for d in [3u32, 5, 7, 9] {
+            let t = TileGeometry::new(Encoding::Planar, d);
+            let side = u64::from(2 * d - 1);
+            assert_eq!(t.physical_qubits(), side * side);
+            assert_eq!(t.tile_width(), side);
+            assert_eq!(t.tile_height(), side);
+        }
+    }
+
+    #[test]
+    fn double_defect_is_roughly_twice_planar() {
+        for d in [3u32, 5, 9, 15, 25] {
+            let p = TileGeometry::new(Encoding::Planar, d).physical_qubits();
+            let dd = TileGeometry::new(Encoding::DoubleDefect, d).physical_qubits();
+            let ratio = dd as f64 / p as f64;
+            // Ratio tends to 2 from above as d grows (d=3 gives 2.88).
+            assert!(
+                ratio > 1.9 && ratio < 3.0,
+                "d={d}: double-defect/planar = {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn qubits_grow_quadratically_with_distance() {
+        let q3 = TileGeometry::new(Encoding::Planar, 3).physical_qubits();
+        let q9 = TileGeometry::new(Encoding::Planar, 9).physical_qubits();
+        // (2*9-1)^2 / (2*3-1)^2 = 289/25 ≈ 11.6 — near the 9x of pure d^2.
+        assert!(q9 > 9 * q3 && q9 < 16 * q3);
+    }
+
+    #[test]
+    fn dd_cell_dimensions() {
+        let t = TileGeometry::new(Encoding::DoubleDefect, 5);
+        assert_eq!(t.tile_width(), 20);
+        assert_eq!(t.tile_height(), 10);
+        assert_eq!(t.tile_width() * t.tile_height(), t.physical_qubits());
+    }
+
+    #[test]
+    fn channel_overhead_is_larger_for_braids() {
+        let p = TileGeometry::new(Encoding::Planar, 3);
+        let dd = TileGeometry::new(Encoding::DoubleDefect, 3);
+        assert!(dd.channel_overhead() > p.channel_overhead());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_distance_rejected() {
+        let _ = TileGeometry::new(Encoding::Planar, 4);
+    }
+
+    #[test]
+    fn display_and_names() {
+        assert_eq!(Encoding::Planar.to_string(), "planar");
+        let t = TileGeometry::new(Encoding::DoubleDefect, 3);
+        assert!(t.to_string().contains("double-defect"));
+        assert!(t.to_string().contains("72"));
+    }
+}

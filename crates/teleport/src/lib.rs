@@ -1,0 +1,50 @@
+//! The Multi-SIMD planar architecture: teleportation-based communication
+//! with just-in-time EPR distribution.
+//!
+//! Planar surface-code qubits communicate by teleportation (paper
+//! Section 4.4): EPR pairs are produced in factories, their halves are
+//! physically swapped to the communication endpoints, and the teleport
+//! itself is a constant-latency local operation. The expensive step is
+//! prefetchable — the property that distinguishes planar from
+//! double-defect machines under congestion.
+//!
+//! Three layers:
+//!
+//! - [`schedule_simd`]: the Multi-SIMD region scheduler (one gate type
+//!   per region per timestep, teleports on region changes),
+//! - [`simulate_epr_distribution`]: the just-in-time EPR pipeline of
+//!   Section 8.1 with its window/bandwidth tradeoffs,
+//! - [`schedule_planar`]: the combined machine timeline in EC cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! use scq_ir::{Circuit, DependencyDag};
+//! use scq_teleport::{schedule_planar, PlanarConfig};
+//!
+//! let mut b = Circuit::builder("demo", 8);
+//! for q in 0..8 {
+//!     b.h(q);
+//! }
+//! for q in 0..4 {
+//!     b.cnot(q, q + 4);
+//! }
+//! let c = b.finish();
+//! let dag = DependencyDag::from_circuit(&c);
+//! let s = schedule_planar(&c, &dag, &PlanarConfig::default());
+//! assert!(s.cycles >= s.timesteps);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod planar;
+mod simd;
+
+pub use pipeline::{
+    simulate_epr_distribution, window_sweep, DistributionPolicy, EprConfig, EprDemand,
+    EprPipelineResult,
+};
+pub use planar::{hop_cycles_for_distance, schedule_planar, PlanarConfig, PlanarSchedule};
+pub use simd::{schedule_simd, SimdConfig, SimdSchedule};

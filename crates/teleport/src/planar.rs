@@ -1,0 +1,236 @@
+//! End-to-end planar (Multi-SIMD) machine scheduling.
+//!
+//! Combines the SIMD region schedule with the EPR distribution pipeline
+//! into a single planar-machine timeline, measured in error-correction
+//! cycles so results compare directly against the braid scheduler.
+
+use scq_ir::{Circuit, DependencyDag};
+
+use crate::pipeline::{
+    simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand, EprPipelineResult,
+};
+use crate::simd::{schedule_simd, SimdConfig, SimdSchedule};
+
+/// Configuration of a planar-machine scheduling run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanarConfig {
+    /// Multi-SIMD region scheduling parameters.
+    pub simd: SimdConfig,
+    /// EPR fabric parameters. `hop_cycles` here is a base value; the
+    /// effective value scales with code distance (a swap chain crossing
+    /// a distance-`d` tile is `2d-1` physical steps, ~1/8 of an EC cycle
+    /// each).
+    pub epr: EprConfig,
+    /// EPR launch policy.
+    pub policy: DistributionPolicy,
+    /// Surface code distance (sets tile width, hence swap-chain length).
+    pub code_distance: u32,
+    /// Mean teleport distance in tiles; `None` derives half the machine
+    /// width from the circuit's qubit count.
+    pub mean_distance_tiles: Option<u32>,
+}
+
+impl Default for PlanarConfig {
+    fn default() -> Self {
+        PlanarConfig {
+            simd: SimdConfig::default(),
+            epr: EprConfig::default(),
+            policy: DistributionPolicy::JustInTime { window: 64 },
+            code_distance: 9,
+            mean_distance_tiles: None,
+        }
+    }
+}
+
+/// Cycles for an EPR half to cross one distance-`d` planar tile: `2d-1`
+/// qubit positions, each crossed by one SWAP (3 CNOTs = 3 physical gate
+/// steps), at 8 physical steps per EC cycle.
+pub fn hop_cycles_for_distance(code_distance: u32) -> u64 {
+    (3 * u64::from(2 * code_distance - 1)).div_ceil(8).max(1)
+}
+
+/// Result of scheduling a circuit on the planar architecture.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanarSchedule {
+    /// Total EC cycles, including EPR distribution stalls.
+    pub cycles: u64,
+    /// Dependency-limited logical timesteps (the critical-path bound for
+    /// the configured number of SIMD regions).
+    pub timesteps: u64,
+    /// The SIMD schedule that produced the demand trace.
+    pub simd: SimdSchedule,
+    /// The EPR pipeline outcome.
+    pub epr: EprPipelineResult,
+}
+
+impl PlanarSchedule {
+    /// Schedule length over the dependency bound (1.0 = no
+    /// communication overhead).
+    pub fn schedule_to_cp_ratio(&self) -> f64 {
+        if self.timesteps == 0 {
+            return 1.0;
+        }
+        self.cycles as f64 / self.timesteps as f64
+    }
+}
+
+/// Schedules `circuit` on the Multi-SIMD planar architecture.
+///
+/// The SIMD scheduler produces logical timesteps and a teleport demand
+/// trace; the EPR pipeline simulates distributing pairs for that trace.
+/// The returned cycle count is the EPR-aware makespan (never less than
+/// the SIMD timestep count).
+///
+/// # Panics
+///
+/// Panics if `dag` was not built from `circuit`.
+pub fn schedule_planar(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    config: &PlanarConfig,
+) -> PlanarSchedule {
+    let simd = schedule_simd(circuit, dag, &config.simd);
+    let mean_distance = config.mean_distance_tiles.unwrap_or_else(|| {
+        // Half the machine width: E[manhattan] between uniform points on
+        // a w x w grid is ~2w/3; half-width is the conventional shorthand.
+        let w = (f64::from(circuit.num_qubits().max(1))).sqrt().ceil() as u32;
+        (w / 2).max(1)
+    });
+    let epr_config = EprConfig {
+        hop_cycles: config.epr.hop_cycles * hop_cycles_for_distance(config.code_distance),
+        ..config.epr
+    };
+    let demands: Vec<EprDemand> = simd
+        .teleport_times
+        .iter()
+        .map(|&t| EprDemand {
+            time: t,
+            distance: mean_distance,
+        })
+        .collect();
+    let epr = simulate_epr_distribution(&demands, config.policy, &epr_config);
+    let cycles = simd.timesteps.max(epr.makespan);
+    PlanarSchedule {
+        cycles,
+        timesteps: simd.timesteps,
+        simd,
+        epr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(circuit: &Circuit, config: &PlanarConfig) -> PlanarSchedule {
+        let dag = DependencyDag::from_circuit(circuit);
+        schedule_planar(circuit, &dag, config)
+    }
+
+    fn mixed_circuit(n: u32, layers: u32) -> Circuit {
+        let mut b = Circuit::builder("mixed", n);
+        for _ in 0..layers {
+            for q in 0..n {
+                b.h(q);
+            }
+            for q in 0..n / 2 {
+                b.cnot(q, q + n / 2);
+            }
+            for q in 0..n {
+                b.t(q);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn hop_cycles_scale_with_distance() {
+        assert_eq!(hop_cycles_for_distance(3), 2); // ceil(3*5/8)
+        assert_eq!(hop_cycles_for_distance(9), 7); // ceil(3*17/8)
+        assert_eq!(hop_cycles_for_distance(25), 19); // ceil(3*49/8)
+        assert!(hop_cycles_for_distance(25) > hop_cycles_for_distance(5));
+    }
+
+    #[test]
+    fn cycles_at_least_timesteps() {
+        let c = mixed_circuit(16, 4);
+        let s = run(&c, &PlanarConfig::default());
+        assert!(s.cycles >= s.timesteps);
+        assert!(s.schedule_to_cp_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::builder("empty", 2).finish();
+        let s = run(&c, &PlanarConfig::default());
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.schedule_to_cp_ratio(), 1.0);
+    }
+
+    #[test]
+    fn jit_beats_eager_on_peak_eprs() {
+        let c = mixed_circuit(32, 6);
+        let jit = run(&c, &PlanarConfig::default());
+        let eager = run(
+            &c,
+            &PlanarConfig {
+                policy: DistributionPolicy::EagerPrefetch,
+                ..Default::default()
+            },
+        );
+        assert!(jit.epr.peak_live_eprs < eager.epr.peak_live_eprs);
+    }
+
+    #[test]
+    fn larger_distance_means_more_stalls_under_tiny_window() {
+        let c = mixed_circuit(32, 6);
+        let near = run(
+            &c,
+            &PlanarConfig {
+                policy: DistributionPolicy::JustInTime { window: 1 },
+                mean_distance_tiles: Some(1),
+                ..Default::default()
+            },
+        );
+        let far = run(
+            &c,
+            &PlanarConfig {
+                policy: DistributionPolicy::JustInTime { window: 1 },
+                mean_distance_tiles: Some(30),
+                ..Default::default()
+            },
+        );
+        assert!(far.epr.total_stall_cycles > near.epr.total_stall_cycles);
+        assert!(far.cycles > near.cycles);
+    }
+
+    #[test]
+    fn code_distance_lengthens_swap_chains() {
+        let c = mixed_circuit(32, 4);
+        let small_d = run(
+            &c,
+            &PlanarConfig {
+                code_distance: 3,
+                policy: DistributionPolicy::JustInTime { window: 2 },
+                ..Default::default()
+            },
+        );
+        let big_d = run(
+            &c,
+            &PlanarConfig {
+                code_distance: 41,
+                policy: DistributionPolicy::JustInTime { window: 2 },
+                ..Default::default()
+            },
+        );
+        assert!(big_d.cycles >= small_d.cycles);
+    }
+
+    #[test]
+    fn teleport_counts_flow_through() {
+        let c = mixed_circuit(8, 2);
+        let s = run(&c, &PlanarConfig::default());
+        assert_eq!(s.epr.teleports as u64, s.simd.total_teleports());
+        assert!(s.simd.magic_teleports > 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Multi-SIMD region scheduling for the planar architecture.
+//!
+//! Paper Section 4.4: planar logical gates are bitwise (transversal), so
+//! "many qubits undergoing the same operation are clustered in one SIMD
+//! region, and multiple (reconfigurable) SIMD regions can accommodate
+//! heterogeneous types of operations at any cycle" (the Multi-SIMD
+//! architecture of Heckey et al. [35]). The scheduler levelizes the
+//! dependency DAG under a `k`-region constraint and counts the
+//! teleportations needed to move qubits between regions — the
+//! communication demand the EPR pipeline must satisfy.
+
+use std::collections::BTreeMap;
+
+use scq_ir::{Circuit, DependencyDag, Gate};
+
+/// Configuration of the Multi-SIMD scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimdConfig {
+    /// Number of reconfigurable SIMD regions operating concurrently.
+    pub regions: u32,
+    /// Whether to apply the locality-based mapping of [35], which keeps
+    /// a qubit in its region across consecutive uses instead of
+    /// returning it to memory after every operation.
+    pub locality_aware: bool,
+}
+
+impl Default for SimdConfig {
+    /// Four SIMD regions with locality-aware mapping, the configuration
+    /// the paper's toolflow inherits from [35].
+    fn default() -> Self {
+        SimdConfig {
+            regions: 4,
+            locality_aware: true,
+        }
+    }
+}
+
+/// The result of Multi-SIMD scheduling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimdSchedule {
+    /// Number of logical timesteps.
+    pub timesteps: u64,
+    /// Total operations scheduled.
+    pub total_ops: usize,
+    /// Teleportations incurred by qubit movement between regions (and
+    /// from memory into regions).
+    pub teleports: u64,
+    /// Magic states consumed (each is delivered by one more teleport).
+    pub magic_teleports: u64,
+    /// For each teleport, the timestep at which it is needed — the
+    /// demand trace consumed by the EPR distribution pipeline.
+    pub teleport_times: Vec<u64>,
+}
+
+impl SimdSchedule {
+    /// Total communication events (data teleports + magic-state
+    /// deliveries).
+    pub fn total_teleports(&self) -> u64 {
+        self.teleports + self.magic_teleports
+    }
+
+    /// Average teleports per timestep — the EPR demand rate.
+    pub fn teleport_rate(&self) -> f64 {
+        if self.timesteps == 0 {
+            return 0.0;
+        }
+        self.total_teleports() as f64 / self.timesteps as f64
+    }
+}
+
+/// Schedules `circuit` onto the Multi-SIMD planar architecture.
+///
+/// List scheduling over the dependency DAG: each timestep packs ready
+/// operations into at most [`SimdConfig::regions`] regions, one gate
+/// type per region (SIMD broadcast executes any number of same-type
+/// gates). Teleports are counted when an operand qubit's current
+/// location (a region, or memory) differs from the region its next
+/// operation runs in; with locality-aware mapping the qubit stays put
+/// until a different region claims it.
+///
+/// # Panics
+///
+/// Panics if `dag` was not built from `circuit` or `config.regions == 0`.
+pub fn schedule_simd(circuit: &Circuit, dag: &DependencyDag, config: &SimdConfig) -> SimdSchedule {
+    assert_eq!(dag.len(), circuit.len(), "dag does not match circuit");
+    assert!(config.regions > 0, "need at least one SIMD region");
+    let n = circuit.len();
+    let mut remaining: Vec<u32> = (0..n).map(|i| dag.preds(i).len() as u32).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+    let mut scheduled = 0usize;
+    let mut timestep = 0u64;
+    let mut teleports = 0u64;
+    let mut magic_teleports = 0u64;
+    let mut teleport_times = Vec::new();
+
+    // Location of each qubit: None = memory region, Some(r) = region r.
+    let mut location: Vec<Option<u32>> = vec![None; circuit.num_qubits() as usize];
+
+    while scheduled < n {
+        timestep += 1;
+        // Group ready ops by gate type; assign up to `regions` types.
+        let mut by_gate: BTreeMap<Gate, Vec<usize>> = BTreeMap::new();
+        for &op in &ready {
+            by_gate.entry(circuit.instructions()[op].gate()).or_default().push(op);
+        }
+        // Largest groups first: broadcast amortizes best over big groups.
+        let mut groups: Vec<(Gate, Vec<usize>)> = by_gate.into_iter().collect();
+        groups.sort_by_key(|(g, ops)| (std::cmp::Reverse(ops.len()), *g));
+        groups.truncate(config.regions as usize);
+
+        let mut issued: Vec<usize> = Vec::new();
+        for (region, (gate, ops)) in groups.into_iter().enumerate() {
+            let region = region as u32;
+            for &op in &ops {
+                for q in circuit.instructions()[op].qubits() {
+                    let loc = &mut location[q.index()];
+                    if *loc != Some(region) {
+                        teleports += 1;
+                        teleport_times.push(timestep);
+                        *loc = Some(region);
+                    }
+                }
+                if gate.needs_magic_state() {
+                    magic_teleports += 1;
+                    teleport_times.push(timestep);
+                }
+                issued.push(op);
+            }
+            let _ = gate;
+        }
+        if !config.locality_aware {
+            // Naive mapping: qubits return to memory after each step, so
+            // every future use teleports again.
+            for loc in location.iter_mut() {
+                *loc = None;
+            }
+        }
+
+        // Retire issued ops and refill the ready set.
+        scheduled += issued.len();
+        let issued_set: std::collections::HashSet<usize> = issued.iter().copied().collect();
+        ready.retain(|op| !issued_set.contains(op));
+        for op in issued {
+            for &s in dag.succs(op) {
+                let s = s as usize;
+                remaining[s] -= 1;
+                if remaining[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        ready.sort_unstable();
+    }
+
+    SimdSchedule {
+        timesteps: timestep,
+        total_ops: n,
+        teleports,
+        magic_teleports,
+        teleport_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(circuit: &Circuit, config: &SimdConfig) -> SimdSchedule {
+        let dag = DependencyDag::from_circuit(circuit);
+        schedule_simd(circuit, &dag, config)
+    }
+
+    fn wide_h_layer(n: u32) -> Circuit {
+        let mut b = Circuit::builder("wide", n);
+        for q in 0..n {
+            b.h(q);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn simd_broadcast_packs_same_gate_in_one_step() {
+        let s = schedule(&wide_h_layer(32), &SimdConfig::default());
+        assert_eq!(s.timesteps, 1);
+        assert_eq!(s.total_ops, 32);
+    }
+
+    #[test]
+    fn region_limit_serializes_gate_types() {
+        // Four distinct gate types on distinct qubits, one region: four
+        // timesteps. Four regions: one timestep.
+        let mut b = Circuit::builder("types", 4);
+        b.h(0).x(1).s(2).z(3);
+        let c = b.finish();
+        let one = schedule(&c, &SimdConfig { regions: 1, locality_aware: true });
+        assert_eq!(one.timesteps, 4);
+        let four = schedule(&c, &SimdConfig { regions: 4, locality_aware: true });
+        assert_eq!(four.timesteps, 1);
+    }
+
+    #[test]
+    fn dependencies_respected() {
+        let mut b = Circuit::builder("chain", 1);
+        b.h(0).t(0).h(0);
+        let s = schedule(&b.finish(), &SimdConfig::default());
+        assert_eq!(s.timesteps, 3);
+    }
+
+    #[test]
+    fn locality_reduces_teleports() {
+        // Repeated ops on the same qubits: locality keeps them in place.
+        let mut b = Circuit::builder("reuse", 2);
+        for _ in 0..10 {
+            b.cnot(0, 1);
+        }
+        let c = b.finish();
+        let local = schedule(&c, &SimdConfig { regions: 2, locality_aware: true });
+        let naive = schedule(&c, &SimdConfig { regions: 2, locality_aware: false });
+        assert!(local.teleports < naive.teleports, "{} !< {}", local.teleports, naive.teleports);
+        // Naive pays two teleports per op, every op.
+        assert_eq!(naive.teleports, 20);
+        assert_eq!(local.teleports, 2);
+    }
+
+    #[test]
+    fn magic_states_counted_per_t_gate() {
+        let mut b = Circuit::builder("ts", 3);
+        b.t(0).t(1).tdg(2);
+        let s = schedule(&b.finish(), &SimdConfig::default());
+        assert_eq!(s.magic_teleports, 3);
+        assert_eq!(s.total_teleports(), s.teleports + 3);
+    }
+
+    #[test]
+    fn teleport_times_are_monotone_and_bounded() {
+        let c = wide_h_layer(8);
+        let s = schedule(&c, &SimdConfig::default());
+        for w in s.teleport_times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(s.teleport_times.iter().all(|&t| t >= 1 && t <= s.timesteps));
+    }
+
+    #[test]
+    fn teleport_rate() {
+        let s = schedule(&wide_h_layer(8), &SimdConfig::default());
+        assert!(s.teleport_rate() > 0.0);
+        let empty = schedule(&Circuit::builder("e", 1).finish(), &SimdConfig::default());
+        assert_eq!(empty.teleport_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SIMD region")]
+    fn zero_regions_rejected() {
+        let _ = schedule(&wide_h_layer(2), &SimdConfig { regions: 0, locality_aware: true });
+    }
+}

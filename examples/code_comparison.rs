@@ -1,0 +1,40 @@
+//! Planar vs double-defect favorability for a serial and a parallel
+//! application (paper Section 7.2, Figure 8).
+//!
+//! Sweeps computation sizes at `pP = 1e-8`, prints the normalized
+//! double-defect/planar resource ratios, and locates each application's
+//! cross-over point.
+//!
+//! Run with: `cargo run --release --example code_comparison`
+
+use scq::apps::Benchmark;
+use scq::estimate::{AppProfile, EstimateConfig};
+use scq::explore::{crossover_size, log_spaced, ratio_sweep};
+
+fn main() {
+    let config = EstimateConfig::default();
+    println!("technology: {}", config.technology);
+    for bench in [Benchmark::SquareRoot, Benchmark::IsingFull] {
+        let profile = AppProfile::calibrate(bench);
+        println!(
+            "\n== {} (parallelism {:.1}) ==",
+            profile.name, profile.parallelism
+        );
+        println!("computation size    qubits ratio    time ratio    qubits x time");
+        for pt in ratio_sweep(&profile, &config, &log_spaced(1e2, 1e24, 12)) {
+            println!(
+                "      {:>9.1e}    {:>12.2}    {:>10.2}    {:>13.2}",
+                pt.kq,
+                pt.qubit_ratio,
+                pt.time_ratio,
+                pt.space_time_ratio()
+            );
+        }
+        match crossover_size(&profile, &config, (1.0, 1e24)) {
+            Some(kq) => println!("cross-over point: {kq:.2e} logical ops"),
+            None => println!("cross-over point: beyond 1e24 (planar favored throughout)"),
+        }
+    }
+    println!("\nRatios above 1 favor planar codes; the parallel application");
+    println!("crosses over at a much larger computation size (braid congestion).");
+}

@@ -1,0 +1,55 @@
+//! Scheduling a custom circuit through the public API.
+//!
+//! Builds a ripple-carry adder from gate-level primitives, round-trips
+//! it through the QASM text format, and schedules it on both
+//! architectures — the workflow for any program outside the bundled
+//! benchmark suite.
+//!
+//! Run with: `cargo run --release --example custom_circuit`
+
+use scq::apps::primitives::{ripple_add, toffoli};
+use scq::braid::{schedule_circuit, BraidConfig, Policy};
+use scq::ir::{analysis, circuit_from_qasm, circuit_to_qasm, Circuit, DependencyDag};
+use scq::teleport::{schedule_planar, PlanarConfig};
+
+fn main() {
+    // An 8-bit in-place adder with a final carry Toffoli.
+    let w = 8u32;
+    let mut b = Circuit::builder("adder8", 2 * w + 2);
+    let a: Vec<u32> = (0..w).collect();
+    let s: Vec<u32> = (w..2 * w).collect();
+    ripple_add(&mut b, &a, &s, 2 * w);
+    toffoli(&mut b, a[w as usize - 1], s[w as usize - 1], 2 * w + 1);
+    let circuit = b.finish();
+
+    // Round-trip through the textual assembly format.
+    let qasm = circuit_to_qasm(&circuit);
+    let circuit = circuit_from_qasm(&qasm).expect("round-trip parses");
+    println!("{}", analysis::analyze(&circuit));
+    println!("first lines of the QASM dump:");
+    for line in qasm.lines().take(6) {
+        println!("  {line}");
+    }
+
+    // Double-defect backend.
+    let braid = schedule_circuit(
+        &circuit,
+        &BraidConfig {
+            policy: Policy::P6,
+            code_distance: 5,
+            ..Default::default()
+        },
+    )
+    .expect("braid scheduling succeeds");
+    println!("\nbraid backend:  {braid}");
+
+    // Planar backend.
+    let dag = DependencyDag::from_circuit(&circuit);
+    let planar = schedule_planar(&circuit, &dag, &PlanarConfig::default());
+    println!(
+        "planar backend: {} cycles, {} teleports, peak {} live EPRs",
+        planar.cycles,
+        planar.simd.total_teleports(),
+        planar.epr.peak_live_eprs
+    );
+}

@@ -1,0 +1,61 @@
+//! ASCII rendering of the paper's Figure 9 design-space map for one
+//! application: which encoding wins at each (error rate, computation
+//! size) design point.
+//!
+//! Run with: `cargo run --release --example favorability_map [app]`
+//! where `app` is one of: gse, sq, sha1, im-semi, im-full (default gse).
+
+use scq::apps::Benchmark;
+use scq::estimate::{estimate_both, AppProfile, EstimateConfig};
+use scq::explore::log_spaced;
+
+fn pick_app(arg: Option<&str>) -> Benchmark {
+    match arg {
+        Some("sq") => Benchmark::SquareRoot,
+        Some("sha1") => Benchmark::Sha1,
+        Some("im-semi") => Benchmark::IsingSemi,
+        Some("im-full") => Benchmark::IsingFull,
+        _ => Benchmark::Gse,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let bench = pick_app(arg.as_deref());
+    let profile = AppProfile::calibrate(bench);
+    let base = EstimateConfig::default();
+
+    let rates = log_spaced(1e-8, 1e-3, 11);
+    let sizes: Vec<f64> = log_spaced(1.0, 1e24, 25);
+
+    println!(
+        "{}: P = planar wins, D = double-defect wins, . = above threshold",
+        profile.name
+    );
+    println!("(rows: computation size 1e24 down to 1e0; cols: pP 1e-8 .. 1e-3)\n");
+    for &kq in sizes.iter().rev() {
+        print!("1e{:>2}  ", kq.log10().round() as i64);
+        for &p in &rates {
+            let cfg = EstimateConfig {
+                technology: base.technology.with_error_rate(p),
+                ..base
+            };
+            let c = match estimate_both(&profile, kq, &cfg) {
+                Ok((planar, dd)) => {
+                    if dd.space_time() <= planar.space_time() {
+                        'D'
+                    } else {
+                        'P'
+                    }
+                }
+                Err(_) => '.',
+            };
+            print!("{c}");
+        }
+        println!();
+    }
+    println!("\n      {}", "^".repeat(rates.len()));
+    println!("      pP = 1e-8 {} 1e-3", " ".repeat(rates.len().saturating_sub(16)));
+    println!("\nThe P region under the boundary is where the paper recommends the");
+    println!("planar encoding; it grows as device error rates improve (leftward).");
+}

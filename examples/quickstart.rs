@@ -1,0 +1,23 @@
+//! Quickstart: run the full toolflow on every benchmark application.
+//!
+//! For each application this generates the circuit, analyzes it, picks a
+//! code distance, schedules it on both the tiled (double-defect, braids)
+//! and Multi-SIMD (planar, teleportation) architectures, and prints the
+//! space-time verdict.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use scq::apps::Benchmark;
+use scq::core::{run_toolflow, ToolflowConfig};
+
+fn main() {
+    let config = ToolflowConfig::default();
+    println!("technology: {}", config.technology);
+    println!();
+    for bench in Benchmark::ALL {
+        match run_toolflow(bench, &config) {
+            Ok(report) => println!("{report}\n"),
+            Err(e) => println!("== {bench} ==\n  failed: {e}\n"),
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The `scq` command-line tool: analyze, optimize, schedule, and compare
+//! encodings for circuits in the QASM text format.
+//!
+//! ```text
+//! scq analyze  <file.qasm>                     logical stats + optimization report
+//! scq schedule <file.qasm> [policy] [distance] braid + planar schedules
+//! scq compare  <file.qasm> [p_physical]        encoding recommendation
+//! scq heatmap  <file.qasm> [distance]          braid congestion heatmap
+//! ```
+
+use std::process::ExitCode;
+
+use scq::braid::{schedule_traced, BraidConfig, Policy};
+use scq::estimate::{estimate_both, AppProfile, EstimateConfig};
+use scq::ir::{analysis, circuit_from_qasm, optimize, Circuit, DependencyDag, InteractionGraph};
+use scq::layout::place;
+use scq::surface::Technology;
+use scq::teleport::{schedule_planar, PlanarConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => with_circuit(&args, 1, cmd_analyze),
+        Some("schedule") => with_circuit(&args, 1, cmd_schedule),
+        Some("compare") => with_circuit(&args, 1, cmd_compare),
+        Some("heatmap") => with_circuit(&args, 1, cmd_heatmap),
+        _ => {
+            eprintln!("usage: scq <analyze|schedule|compare|heatmap> <file.qasm> [options]");
+            eprintln!("  analyze  <file.qasm>                  logical stats + optimizer report");
+            eprintln!("  schedule <file.qasm> [policy] [dist]  braid + planar schedules");
+            eprintln!("  compare  <file.qasm> [p_physical]     encoding recommendation");
+            eprintln!("  heatmap  <file.qasm> [dist]           braid congestion heatmap");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn with_circuit(
+    args: &[String],
+    file_arg: usize,
+    run: fn(&Circuit, &[String]) -> CliResult,
+) -> CliResult {
+    let path = args
+        .get(file_arg)
+        .ok_or("missing <file.qasm> argument")?;
+    let text = std::fs::read_to_string(path)?;
+    let circuit = circuit_from_qasm(&text)?;
+    run(&circuit, &args[file_arg + 1..])
+}
+
+fn cmd_analyze(circuit: &Circuit, _rest: &[String]) -> CliResult {
+    let stats = analysis::analyze(circuit);
+    println!("{stats}");
+    let (optimized, ostats) = optimize::peephole(circuit);
+    if ostats.removed() > 0 {
+        let after = analysis::analyze(&optimized);
+        println!(
+            "peephole: {} cancelled, {} fused over {} pass(es) -> {} ops (depth {})",
+            ostats.cancelled, ostats.fused, ostats.passes, after.total_ops, after.depth
+        );
+    } else {
+        println!("peephole: no redundancies found");
+    }
+    let dag = DependencyDag::from_circuit(circuit);
+    let widths = dag.level_widths();
+    println!(
+        "width profile: peak {} parallel ops, {} levels",
+        widths.iter().max().copied().unwrap_or(0),
+        widths.len()
+    );
+    Ok(())
+}
+
+fn parse_policy(rest: &[String]) -> Result<Policy, Box<dyn std::error::Error>> {
+    match rest.first() {
+        None => Ok(Policy::P6),
+        Some(s) => {
+            let idx: usize = s.parse().map_err(|_| format!("bad policy `{s}`"))?;
+            Policy::from_index(idx).ok_or_else(|| format!("policy {idx} out of range").into())
+        }
+    }
+}
+
+fn parse_distance(rest: &[String], pos: usize) -> Result<u32, Box<dyn std::error::Error>> {
+    match rest.get(pos) {
+        None => Ok(5),
+        Some(s) => {
+            let d: u32 = s.parse().map_err(|_| format!("bad distance `{s}`"))?;
+            if d.is_multiple_of(2) || d < 3 {
+                return Err(format!("distance must be odd and >= 3, got {d}").into());
+            }
+            Ok(d)
+        }
+    }
+}
+
+fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
+    let policy = parse_policy(rest)?;
+    let code_distance = parse_distance(rest, 1)?;
+    let dag = DependencyDag::from_circuit(circuit);
+    let graph = InteractionGraph::from_circuit(circuit);
+    let layout = place(&graph, policy.layout_strategy(), None);
+    let config = BraidConfig {
+        policy,
+        code_distance,
+        ..Default::default()
+    };
+    let (braid, trace) = schedule_traced(circuit, &dag, &layout, &config)?;
+    trace.validate()?;
+    println!("double-defect ({policy}, d={code_distance}): {braid}");
+    println!("  static replay: conflict-free ({} braid legs)", trace.events.len());
+    let planar = schedule_planar(circuit, &dag, &PlanarConfig {
+        code_distance,
+        ..Default::default()
+    });
+    println!(
+        "planar (Multi-SIMD): {} cycles, {} teleports, peak {} live EPR pairs",
+        planar.cycles,
+        planar.simd.total_teleports(),
+        planar.epr.peak_live_eprs
+    );
+    Ok(())
+}
+
+fn cmd_compare(circuit: &Circuit, rest: &[String]) -> CliResult {
+    let p_physical: f64 = match rest.first() {
+        None => 1e-5,
+        Some(s) => s.parse().map_err(|_| format!("bad error rate `{s}`"))?,
+    };
+    let profile = AppProfile::from_circuit(circuit, circuit.name());
+    let config = EstimateConfig {
+        technology: Technology::default().with_error_rate(p_physical),
+        ..Default::default()
+    };
+    let kq = circuit.len().max(1) as f64;
+    let (planar, dd) = estimate_both(&profile, kq, &config)?;
+    println!("at p_physical = {p_physical:.1e}, {kq:.0} logical ops:");
+    println!("  {planar}");
+    println!("  {dd}");
+    let ratio = dd.space_time() / planar.space_time();
+    let verdict = if ratio > 1.0 { "planar" } else { "double-defect" };
+    println!("  space-time ratio (dd/planar): {ratio:.2} -> use {verdict} encoding");
+    Ok(())
+}
+
+fn cmd_heatmap(circuit: &Circuit, rest: &[String]) -> CliResult {
+    let code_distance = parse_distance(rest, 0)?;
+    let dag = DependencyDag::from_circuit(circuit);
+    let graph = InteractionGraph::from_circuit(circuit);
+    let layout = place(&graph, Policy::P6.layout_strategy(), None);
+    let config = BraidConfig {
+        policy: Policy::P6,
+        code_distance,
+        ..Default::default()
+    };
+    let (braid, trace) = schedule_traced(circuit, &dag, &layout, &config)?;
+    println!(
+        "{} braid legs over {} cycles, peak {} concurrent braids",
+        trace.events.len(),
+        braid.cycles,
+        trace.peak_concurrent_braids()
+    );
+    println!("link congestion (0-9 = busy-cycles relative to hottest link):");
+    print!("{}", trace.render_heatmap());
+    Ok(())
+}
