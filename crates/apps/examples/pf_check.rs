@@ -1,11 +1,20 @@
 fn main() {
     for (w, r) in [(8u32, 4u32), (16, 4), (32, 4), (32, 8)] {
-        let c = scq_apps::sha1(&scq_apps::Sha1Params { word_bits: w, rounds: r });
+        let c = scq_apps::sha1(&scq_apps::Sha1Params {
+            word_bits: w,
+            rounds: r,
+        });
         let s = scq_ir::analysis::analyze(&c);
-        println!("sha1 w={w} r={r}: ops={} depth={} pf={:.2}", s.total_ops, s.depth, s.parallelism_factor);
+        println!(
+            "sha1 w={w} r={r}: ops={} depth={} pf={:.2}",
+            s.total_ops, s.depth, s.parallelism_factor
+        );
     }
     for b in scq_apps::Benchmark::ALL {
         let s = scq_ir::analysis::analyze(&b.default_circuit());
-        println!("{b}: ops={} qubits={} depth={} pf={:.2}", s.total_ops, s.num_qubits, s.depth, s.parallelism_factor);
+        println!(
+            "{b}: ops={} qubits={} depth={} pf={:.2}",
+            s.total_ops, s.num_qubits, s.depth, s.parallelism_factor
+        );
     }
 }

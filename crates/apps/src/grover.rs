@@ -46,7 +46,9 @@ impl Default for SqParams {
 /// [`SqParams::iterations`] is `None`: `floor(pi/4 * sqrt(2^bits))`.
 pub fn optimal_iterations(bits: u32) -> u32 {
     let n = (bits.min(62)) as f64;
-    ((std::f64::consts::PI / 4.0) * n.exp2().sqrt()).floor().max(1.0) as u32
+    ((std::f64::consts::PI / 4.0) * n.exp2().sqrt())
+        .floor()
+        .max(1.0) as u32
 }
 
 /// Generates the SQ (Grover square-root) circuit.

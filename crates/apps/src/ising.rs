@@ -91,7 +91,10 @@ fn zz_bond(b: &mut CircuitBuilder, lo: u32, hi: u32) {
 pub fn ising(params: &IsingParams) -> Circuit {
     assert!(params.spins >= 2, "ising: spins must be at least 2");
     assert!(params.trotter_steps >= 1, "ising: need at least one step");
-    assert!(params.module_size >= 1, "ising: module_size must be positive");
+    assert!(
+        params.module_size >= 1,
+        "ising: module_size must be positive"
+    );
     let n = params.spins;
     let anc = n;
     let name = format!(

@@ -33,14 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod gse;
 mod grover;
+mod gse;
 mod ising;
 pub mod primitives;
 mod sha1;
 
-pub use gse::{gse, GseParams};
 pub use grover::{optimal_iterations, square_root, SqParams};
+pub use gse::{gse, GseParams};
 pub use ising::{ising, Inlining, IsingParams};
 pub use sha1::{sha1, Sha1Params};
 

@@ -76,12 +76,7 @@ pub const TOFFOLI_OPS: usize = 15;
 /// # Panics
 ///
 /// Panics if too few ancillas are supplied, or qubits are invalid.
-pub fn multi_controlled_z(
-    b: &mut CircuitBuilder,
-    controls: &[u32],
-    ancillas: &[u32],
-    target: u32,
-) {
+pub fn multi_controlled_z(b: &mut CircuitBuilder, controls: &[u32], ancillas: &[u32], target: u32) {
     match controls.len() {
         0 => {
             b.z(target);
@@ -192,10 +187,7 @@ mod tests {
         let c = b.finish();
         assert_eq!(c.len(), ROTATION_SEQ_LEN + 2);
         assert_eq!(c.instructions()[0].gate(), scq_ir::Gate::H);
-        assert_eq!(
-            c.instructions().last().unwrap().gate(),
-            scq_ir::Gate::H
-        );
+        assert_eq!(c.instructions().last().unwrap().gate(), scq_ir::Gate::H);
     }
 
     #[test]

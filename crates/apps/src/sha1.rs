@@ -135,7 +135,10 @@ pub fn sha1(params: &Sha1Params) -> Circuit {
             for back in [3usize, 8, 14] {
                 let src = (t - back) % 16;
                 if src != idx {
-                    let (s, d) = (words[src].as_slice().to_vec(), words[idx].as_slice().to_vec());
+                    let (s, d) = (
+                        words[src].as_slice().to_vec(),
+                        words[idx].as_slice().to_vec(),
+                    );
                     xor_into(&mut b, &s, &d);
                 }
             }
@@ -166,7 +169,13 @@ pub fn sha1(params: &Sha1Params) -> Circuit {
         bw = work[1].clone();
         bw.rotl(30);
         let old_e = work[4].clone();
-        work = [sum.clone(), work[0].clone(), bw.clone(), work[2].clone(), work[3].clone()];
+        work = [
+            sum.clone(),
+            work[0].clone(),
+            bw.clone(),
+            work[2].clone(),
+            work[3].clone(),
+        ];
         // The displaced e word becomes the next round's carry-save sum.
         sum = old_e;
     }

@@ -42,7 +42,13 @@ fn bench_layout(c: &mut Criterion) {
     });
     let graph = InteractionGraph::from_circuit(&circuit);
     c.bench_function("layout/interaction-aware-64", |b| {
-        b.iter(|| place(std::hint::black_box(&graph), LayoutStrategy::InteractionAware, None))
+        b.iter(|| {
+            place(
+                std::hint::black_box(&graph),
+                LayoutStrategy::InteractionAware,
+                None,
+            )
+        })
     });
 }
 
@@ -66,10 +72,114 @@ fn bench_braid_scheduler(c: &mut Criterion) {
     });
 }
 
+/// Fused claim walk vs the two-step route-then-claim it replaced, on a
+/// half-congested mesh (the scheduler's common case under contention:
+/// most claims fail).
+fn bench_claim_route(c: &mut Criterion) {
+    use scq_mesh::{Coord, Mesh, Path};
+    let mut base = Mesh::new(41, 41);
+    // Claim every fourth row to create realistic partial congestion.
+    for y in (0..41u32).step_by(4) {
+        let wall = base.route_xy(Coord::new(4, y), Coord::new(36, y));
+        assert!(base.try_claim(&wall, 100_000 + y));
+    }
+    let endpoints: Vec<(Coord, Coord)> = (0..64u32)
+        .map(|i| {
+            (
+                Coord::new(i % 41, (i * 7) % 41),
+                Coord::new((i * 13) % 41, (i * 3) % 41),
+            )
+        })
+        .collect();
+    c.bench_function("mesh/route-then-claim-64", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut mesh| {
+                let mut placed = 0u32;
+                for (i, &(src, dst)) in endpoints.iter().enumerate() {
+                    let p = mesh.route_xy(src, dst);
+                    if mesh.try_claim(&p, i as u32) {
+                        placed += 1;
+                    }
+                }
+                placed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mesh/claim-route-fused-64", |b| {
+        b.iter_batched(
+            || (base.clone(), Path::empty()),
+            |(mut mesh, mut out)| {
+                let mut placed = 0u32;
+                for (i, &(src, dst)) in endpoints.iter().enumerate() {
+                    if mesh.claim_route_xy_into(src, dst, i as u32, &mut out) {
+                        placed += 1;
+                    }
+                }
+                placed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Event-driven engine (incremental ready-sets + time jumps) vs the
+/// naive cycle-stepping full-rescan reference, same workload, same
+/// bit-identical schedule.
+fn bench_ready_sets_vs_rescan(c: &mut Criterion) {
+    let circuit = ising(&IsingParams {
+        spins: 32,
+        trotter_steps: 2,
+        ..Default::default()
+    });
+    let dag = DependencyDag::from_circuit(&circuit);
+    let graph = InteractionGraph::from_circuit(&circuit);
+    let layout = place(&graph, LayoutStrategy::InteractionAware, None);
+    let config = BraidConfig {
+        policy: Policy::P6,
+        code_distance: 3,
+        ..Default::default()
+    };
+    c.bench_function("braid/event-driven-ising-32x2", |b| {
+        b.iter(|| scq_braid::schedule(&circuit, &dag, &layout, &config).unwrap())
+    });
+    c.bench_function("braid/naive-rescan-ising-32x2", |b| {
+        b.iter(|| scq_braid::schedule_reference(&circuit, &dag, &layout, &config).unwrap())
+    });
+}
+
+/// Untraced scheduling (NoTrace sink: zero event pushes, pooled route
+/// buffers) vs traced scheduling (full event collection).
+fn bench_traced_vs_untraced(c: &mut Criterion) {
+    let circuit = ising(&IsingParams {
+        spins: 32,
+        trotter_steps: 2,
+        ..Default::default()
+    });
+    let dag = DependencyDag::from_circuit(&circuit);
+    let graph = InteractionGraph::from_circuit(&circuit);
+    let layout = place(&graph, LayoutStrategy::InteractionAware, None);
+    let config = BraidConfig {
+        policy: Policy::P6,
+        code_distance: 3,
+        ..Default::default()
+    };
+    c.bench_function("braid/untraced-ising-32x2", |b| {
+        b.iter(|| scq_braid::schedule(&circuit, &dag, &layout, &config).unwrap())
+    });
+    c.bench_function("braid/traced-ising-32x2", |b| {
+        b.iter(|| scq_braid::schedule_traced(&circuit, &dag, &layout, &config).unwrap())
+    });
+}
+
 fn bench_epr_pipeline(c: &mut Criterion) {
     use scq_teleport::{simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand};
     let demands: Vec<EprDemand> = (0..20_000)
-        .map(|i| EprDemand { time: 10 + i / 4, distance: 6 })
+        .map(|i| EprDemand {
+            time: 10 + i / 4,
+            distance: 6,
+        })
         .collect();
     c.bench_function("epr/jit-20k-teleports", |b| {
         b.iter(|| {
@@ -88,6 +198,9 @@ criterion_group!(
     bench_partitioner,
     bench_layout,
     bench_braid_scheduler,
+    bench_claim_route,
+    bench_ready_sets_vs_rescan,
+    bench_traced_vs_untraced,
     bench_epr_pipeline
 );
 criterion_main!(benches);

@@ -10,6 +10,7 @@
 //!    aside (Section 8.2 unit costs).
 
 use scq_apps::{ising, IsingParams};
+use scq_bench::parallel_map;
 use scq_braid::{schedule, BraidConfig, Policy, TGateModel};
 use scq_ir::{Circuit, DependencyDag, InteractionGraph};
 use scq_layout::{place, LayoutStrategy};
@@ -34,21 +35,27 @@ fn main() {
         circuit.num_qubits()
     );
 
-    // 1. Layout ablation.
+    // 1. Layout ablation (variants fan out in parallel).
     println!("[1] layout ablation (Policy 6, d = 5)");
-    println!("{:<22} {:>10} {:>12} {:>14}", "strategy", "cycles", "sched/CP", "avg braid hops");
-    for (name, strategy) in [
+    println!(
+        "{:<22} {:>10} {:>12} {:>14}",
+        "strategy", "cycles", "sched/CP", "avg braid hops"
+    );
+    let variants = [
         ("interaction-aware", LayoutStrategy::InteractionAware),
         ("linear (naive)", LayoutStrategy::Linear),
         ("random", LayoutStrategy::Random(7)),
-    ] {
+    ];
+    let results = parallel_map(&variants, |&(_, strategy)| {
         let layout = place(&graph, strategy, None);
         let config = BraidConfig {
             policy: Policy::P6,
             code_distance: 5,
             ..Default::default()
         };
-        let s = schedule(&circuit, &dag, &layout, &config).unwrap();
+        schedule(&circuit, &dag, &layout, &config).unwrap()
+    });
+    for ((name, _), s) in variants.iter().zip(&results) {
         println!(
             "{name:<22} {:>10} {:>12.2} {:>14.2}",
             s.cycles,
@@ -59,11 +66,15 @@ fn main() {
 
     // 2. Magic-state supply ablation.
     println!("\n[2] T-gate supply ablation (Policy 6, d = 5)");
-    println!("{:<22} {:>10} {:>12} {:>10}", "model", "cycles", "braids", "sched/CP");
-    for (name, model) in [
+    println!(
+        "{:<22} {:>10} {:>12} {:>10}",
+        "model", "cycles", "braids", "sched/CP"
+    );
+    let variants = [
         ("factory braids", TGateModel::FactoryBraids),
         ("locally buffered", TGateModel::LocalBuffered),
-    ] {
+    ];
+    let results = parallel_map(&variants, |&(_, model)| {
         let layout = place(&graph, LayoutStrategy::InteractionAware, None);
         let config = BraidConfig {
             policy: Policy::P6,
@@ -71,7 +82,9 @@ fn main() {
             t_gate_model: model,
             ..Default::default()
         };
-        let s = schedule(&circuit, &dag, &layout, &config).unwrap();
+        schedule(&circuit, &dag, &layout, &config).unwrap()
+    });
+    for ((name, _), s) in variants.iter().zip(&results) {
         println!(
             "{name:<22} {:>10} {:>12} {:>10.2}",
             s.cycles,
@@ -83,11 +96,15 @@ fn main() {
     // 3. Routing-escalation ablation: disable adaptivity by making the
     // timeouts unreachable.
     println!("\n[3] routing ablation (Policy 6, d = 5)");
-    println!("{:<22} {:>10} {:>12} {:>10}", "routing", "cycles", "adaptive", "drops");
-    for (name, route_timeout, drop_timeout) in [
+    println!(
+        "{:<22} {:>10} {:>12} {:>10}",
+        "routing", "cycles", "adaptive", "drops"
+    );
+    let variants = [
         ("escalating (default)", 4u32, 16u32),
         ("dimension-order only", u32::MAX, u32::MAX),
-    ] {
+    ];
+    let results = parallel_map(&variants, |&(_, route_timeout, drop_timeout)| {
         let layout = place(&graph, LayoutStrategy::InteractionAware, None);
         let config = BraidConfig {
             policy: Policy::P6,
@@ -96,7 +113,9 @@ fn main() {
             drop_timeout,
             ..Default::default()
         };
-        let s = schedule(&circuit, &dag, &layout, &config).unwrap();
+        schedule(&circuit, &dag, &layout, &config).unwrap()
+    });
+    for ((name, _, _), s) in variants.iter().zip(&results) {
         println!(
             "{name:<22} {:>10} {:>12} {:>10}",
             s.cycles, s.adaptive_routes, s.drops
@@ -105,7 +124,10 @@ fn main() {
 
     // 4. Lattice surgery unit costs.
     println!("\n[4] lattice surgery vs alternatives (d = 5)");
-    println!("{:<12} {:>16} {:>12} {:>12}", "distance", "surgery cycles", "braid", "teleport");
+    println!(
+        "{:<12} {:>16} {:>12} {:>12}",
+        "distance", "surgery cycles", "braid", "teleport"
+    );
     for dist in [1u32, 2, 4, 8, 16] {
         let s = SurgeryCost::between(5, dist);
         println!("{dist:<12} {:>16} {:>12} {:>12}", s.cycles, 2 * (5 + 1), 3);

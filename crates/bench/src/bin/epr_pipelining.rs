@@ -20,17 +20,22 @@ fn main() {
         let demands: Vec<EprDemand> = simd
             .teleport_times
             .iter()
-            .map(|&t| EprDemand { time: t, distance: 6 })
+            .map(|&t| EprDemand {
+                time: t,
+                distance: 6,
+            })
             .collect();
-        let eager =
-            simulate_epr_distribution(&demands, DistributionPolicy::EagerPrefetch, &config);
+        let eager = simulate_epr_distribution(&demands, DistributionPolicy::EagerPrefetch, &config);
         println!(
             "\n== {} ({} teleports, eager-prefetch peak {} live pairs) ==",
             bench.name(),
             demands.len(),
             eager.peak_live_eprs
         );
-        println!("{:>8} {:>12} {:>12} {:>12}", "window", "peak live", "savings", "latency+");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}",
+            "window", "peak live", "savings", "latency+"
+        );
         let mut best: Option<(usize, f64)> = None;
         for (w, r) in window_sweep(&demands, &windows, &config) {
             let savings = eager.peak_live_eprs as f64 / r.peak_live_eprs.max(1) as f64;

@@ -2,32 +2,50 @@
 //! surface code — schedule-length-to-critical-path ratio (blue bars) and
 //! average mesh utilization (red curve) for policies 0-6 on all four
 //! applications.
+//!
+//! All 28 (workload × policy) points are independent scheduling runs, so
+//! they fan out across the machine with [`parallel_map`].
 
-use scq_bench::{fig6_workloads, run_policy};
+use scq_bench::{fig6_workloads, parallel_map, run_policy};
 use scq_braid::Policy;
 
 fn main() {
+    let workloads = fig6_workloads();
+    let points: Vec<(usize, Policy)> = (0..workloads.len())
+        .flat_map(|w| Policy::ALL.iter().map(move |&p| (w, p)))
+        .collect();
+    let results = parallel_map(&points, |&(w, policy)| {
+        run_policy(&workloads[w].1, policy, 5)
+    });
+
     println!("Figure 6: braid scheduling policies (d = 5)");
     println!();
     println!(
         "{:<18} {:>9} {:>9}  {}",
-        "App", "Ops", "Metric",
-        Policy::ALL.map(|p| format!("{:>6}", format!("P{}", p.index()))).join("")
+        "App",
+        "Ops",
+        "Metric",
+        Policy::ALL
+            .map(|p| format!("{:>6}", format!("P{}", p.index())))
+            .join("")
     );
-    for (bench, circuit) in fig6_workloads() {
-        let results: Vec<_> = Policy::ALL
-            .iter()
-            .map(|&p| run_policy(&circuit, p, 5))
-            .collect();
-        let ratios: String = results
+    for (w, (bench, circuit)) in workloads.iter().enumerate() {
+        let row = &results[w * Policy::ALL.len()..(w + 1) * Policy::ALL.len()];
+        let ratios: String = row
             .iter()
             .map(|s| format!("{:>6.2}", s.schedule_to_cp_ratio()))
             .collect();
-        let utils: String = results
+        let utils: String = row
             .iter()
             .map(|s| format!("{:>5.1}%", s.mesh_utilization * 100.0))
             .collect();
-        println!("{:<18} {:>9} {:>9}  {}", bench.name(), circuit.len(), "sched/CP", ratios);
+        println!(
+            "{:<18} {:>9} {:>9}  {}",
+            bench.name(),
+            circuit.len(),
+            "sched/CP",
+            ratios
+        );
         println!("{:<18} {:>9} {:>9}  {}", "", "", "util", utils);
     }
     println!();

@@ -9,7 +9,10 @@ use scq_explore::{log_spaced, sweep_computation_sizes};
 fn main() {
     let config = EstimateConfig::default(); // pP = 1e-8
     let profile = AppProfile::calibrate(Benchmark::SquareRoot);
-    println!("Figure 7: absolute resources for SQ ({})", config.technology);
+    println!(
+        "Figure 7: absolute resources for SQ ({})",
+        config.technology
+    );
     println!();
     println!(
         "{:>12} {:>6} {:>14} {:>14} {:>14} {:>14}",

@@ -11,12 +11,21 @@ fn main() {
     println!("Figure 8: double-defect relative to planar baseline (pP = 1e-8)");
     for bench in [Benchmark::SquareRoot, Benchmark::IsingFull] {
         let profile = AppProfile::calibrate(bench);
-        println!("\n(a/b) {} — parallelism {:.1}", profile.name, profile.parallelism);
-        println!("{:>12} {:>10} {:>10} {:>14}", "1/pL", "qubits", "time", "qubits x time");
+        println!(
+            "\n(a/b) {} — parallelism {:.1}",
+            profile.name, profile.parallelism
+        );
+        println!(
+            "{:>12} {:>10} {:>10} {:>14}",
+            "1/pL", "qubits", "time", "qubits x time"
+        );
         for pt in ratio_sweep(&profile, &config, &log_spaced(1.0, 1e24, 13)) {
             println!(
                 "{:>12.1e} {:>10.2} {:>10.2} {:>14.2}",
-                pt.kq, pt.qubit_ratio, pt.time_ratio, pt.space_time_ratio()
+                pt.kq,
+                pt.qubit_ratio,
+                pt.time_ratio,
+                pt.space_time_ratio()
             );
         }
         match crossover_size(&profile, &config, (1.0, 1e24)) {

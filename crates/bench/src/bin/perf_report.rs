@@ -1,0 +1,132 @@
+//! Scheduler performance trajectory: times the event-driven engine
+//! against the retained naive-stepping reference on the full Figure 6
+//! (workload × policy) grid and writes `BENCH_sched.json`.
+//!
+//! Every point asserts bit-identical schedules before timing counts, so
+//! the reported speedup is for *the same answer*. Fast-engine points are
+//! measured sequentially (stable wall-clocks), then re-run in parallel
+//! once to report the fan-out wall-clock of the whole grid.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use scq_bench::{fig6_workloads, parallel_map, run_policy, run_policy_reference};
+use scq_braid::Policy;
+
+const CODE_DISTANCE: u32 = 5;
+
+struct Point {
+    app: &'static str,
+    policy: usize,
+    cycles: u64,
+    fast_secs: f64,
+    ref_secs: f64,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        self.ref_secs / self.fast_secs.max(1e-12)
+    }
+
+    fn cycles_per_sec_fast(&self) -> f64 {
+        self.cycles as f64 / self.fast_secs.max(1e-12)
+    }
+}
+
+fn main() {
+    let workloads = fig6_workloads();
+    let mut points = Vec::new();
+    for (bench, circuit) in &workloads {
+        for &policy in &Policy::ALL {
+            let t0 = Instant::now();
+            let fast = run_policy(circuit, policy, CODE_DISTANCE);
+            let fast_secs = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let naive = run_policy_reference(circuit, policy, CODE_DISTANCE);
+            let ref_secs = t0.elapsed().as_secs_f64();
+            assert_eq!(fast, naive, "{} {policy}: engines diverged", bench.name());
+            points.push(Point {
+                app: bench.name(),
+                policy: policy.index(),
+                cycles: fast.cycles,
+                fast_secs,
+                ref_secs,
+            });
+        }
+    }
+
+    // Grid wall-clock with the parallel driver (fast engine only).
+    let grid: Vec<(usize, Policy)> = (0..workloads.len())
+        .flat_map(|w| Policy::ALL.iter().map(move |&p| (w, p)))
+        .collect();
+    let t0 = Instant::now();
+    let _ = parallel_map(&grid, |&(w, policy)| {
+        run_policy(&workloads[w].1, policy, CODE_DISTANCE)
+    });
+    let parallel_grid_secs = t0.elapsed().as_secs_f64();
+
+    let total_fast: f64 = points.iter().map(|p| p.fast_secs).sum();
+    let total_ref: f64 = points.iter().map(|p| p.ref_secs).sum();
+    let geomean_speedup =
+        (points.iter().map(|p| p.speedup().ln()).sum::<f64>() / points.len() as f64).exp();
+
+    println!(
+        "Scheduler perf report (d = {CODE_DISTANCE}, fig6 grid, {} points)",
+        points.len()
+    );
+    println!();
+    println!(
+        "{:<10} {:>6} {:>10} {:>12} {:>12} {:>9} {:>14}",
+        "app", "policy", "cycles", "fast", "reference", "speedup", "cycles/s fast"
+    );
+    for p in &points {
+        println!(
+            "{:<10} {:>6} {:>10} {:>11.3}ms {:>11.3}ms {:>8.1}x {:>14.2e}",
+            p.app,
+            format!("P{}", p.policy),
+            p.cycles,
+            p.fast_secs * 1e3,
+            p.ref_secs * 1e3,
+            p.speedup(),
+            p.cycles_per_sec_fast(),
+        );
+    }
+    println!();
+    println!(
+        "grid totals: fast {:.1}ms, reference {:.1}ms, aggregate speedup {:.1}x, geomean {:.1}x",
+        total_fast * 1e3,
+        total_ref * 1e3,
+        total_ref / total_fast.max(1e-12),
+        geomean_speedup
+    );
+    println!(
+        "parallel grid wall-clock (fast engine): {:.1}ms",
+        parallel_grid_secs * 1e3
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"code_distance\": {CODE_DISTANCE},");
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"app\": \"{}\", \"policy\": {}, \"cycles\": {}, \"fast_secs\": {:.6}, \"ref_secs\": {:.6}, \"speedup\": {:.2}, \"cycles_per_sec_fast\": {:.3e}}}{comma}",
+            p.app, p.policy, p.cycles, p.fast_secs, p.ref_secs, p.speedup(), p.cycles_per_sec_fast()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"total_fast_secs\": {total_fast:.6},");
+    let _ = writeln!(json, "  \"total_ref_secs\": {total_ref:.6},");
+    let _ = writeln!(
+        json,
+        "  \"aggregate_speedup\": {:.2},",
+        total_ref / total_fast.max(1e-12)
+    );
+    let _ = writeln!(json, "  \"geomean_speedup\": {geomean_speedup:.2},");
+    let _ = writeln!(json, "  \"parallel_grid_secs\": {parallel_grid_secs:.6}");
+    json.push('}');
+    json.push('\n');
+    std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
+    println!("\nwrote BENCH_sched.json");
+}

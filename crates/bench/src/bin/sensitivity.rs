@@ -9,6 +9,7 @@
 //! perturbations in all of them.
 
 use scq_apps::Benchmark;
+use scq_bench::parallel_map;
 use scq_estimate::{AppProfile, EstimateConfig};
 use scq_explore::crossover_size;
 use scq_surface::FactoryConfig;
@@ -27,23 +28,29 @@ fn main() {
 
     println!("Sensitivity of crossover boundaries (pP = 1e-8)\n");
 
-    println!("[omega] exposure coefficient (default {})", base.exposure_omega);
+    println!(
+        "[omega] exposure coefficient (default {})",
+        base.exposure_omega
+    );
     println!("{:<20} {:>10} {:>10} {:>10}", "app", "x0.5", "x1", "x2");
-    for p in &profiles {
-        let lo = EstimateConfig { exposure_omega: base.exposure_omega * 0.5, ..base };
-        let hi = EstimateConfig { exposure_omega: base.exposure_omega * 2.0, ..base };
-        println!(
-            "{:<20} {} {} {}",
-            p.name,
-            crossover(p, &lo),
-            crossover(p, &base),
-            crossover(p, &hi)
-        );
+    let rows = parallel_map(&profiles, |p| {
+        let lo = EstimateConfig {
+            exposure_omega: base.exposure_omega * 0.5,
+            ..base
+        };
+        let hi = EstimateConfig {
+            exposure_omega: base.exposure_omega * 2.0,
+            ..base
+        };
+        (crossover(p, &lo), crossover(p, &base), crossover(p, &hi))
+    });
+    for (p, (lo, mid, hi)) in profiles.iter().zip(&rows) {
+        println!("{:<20} {lo} {mid} {hi}", p.name);
     }
 
     println!("\n[factories] ancilla:data footprint (default 1:4)");
     println!("{:<20} {:>10} {:>10} {:>10}", "app", "1:8", "1:4", "1:2");
-    for p in &profiles {
+    let rows = parallel_map(&profiles, |p| {
         let mk = |ratio: f64| EstimateConfig {
             factory: FactoryConfig {
                 ancilla_data_ratio: ratio,
@@ -51,29 +58,31 @@ fn main() {
             },
             ..base
         };
-        println!(
-            "{:<20} {} {} {}",
-            p.name,
+        (
             crossover(p, &mk(0.125)),
             crossover(p, &mk(0.25)),
-            crossover(p, &mk(0.5))
-        );
+            crossover(p, &mk(0.5)),
+        )
+    });
+    for (p, (lo, mid, hi)) in profiles.iter().zip(&rows) {
+        println!("{:<20} {lo} {mid} {hi}", p.name);
     }
 
     println!("\n[jit latency] residual overhead (default 4%)");
     println!("{:<20} {:>10} {:>10} {:>10}", "app", "0%", "4%", "10%");
-    for p in &profiles {
+    let rows = parallel_map(&profiles, |p| {
         let mk = |ovh: f64| EstimateConfig {
             jit_latency_overhead: ovh,
             ..base
         };
-        println!(
-            "{:<20} {} {} {}",
-            p.name,
+        (
             crossover(p, &mk(0.0)),
             crossover(p, &mk(0.04)),
-            crossover(p, &mk(0.10))
-        );
+            crossover(p, &mk(0.10)),
+        )
+    });
+    for (p, (lo, mid, hi)) in profiles.iter().zip(&rows) {
+        println!("{:<20} {lo} {mid} {hi}", p.name);
     }
 
     println!("\nThe qualitative ordering (serial << parallel) should hold in every");

@@ -7,7 +7,10 @@ use scq_ir::analysis;
 fn main() {
     println!("Table 2: Summary of studied quantum applications");
     println!();
-    println!("{:<18} {:>8} {:>10} {:>8} {:>14} {:>12}", "Application", "Qubits", "Ops", "Depth", "Parallelism", "Paper value");
+    println!(
+        "{:<18} {:>8} {:>10} {:>8} {:>14} {:>12}",
+        "Application", "Qubits", "Ops", "Depth", "Parallelism", "Paper value"
+    );
     for bench in Benchmark::TABLE2 {
         let stats = analysis::analyze(&bench.default_circuit());
         println!(

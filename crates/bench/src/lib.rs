@@ -12,15 +12,23 @@
 //! | `fig8` | Figure 8 — normalized ratios and cross-over points |
 //! | `fig9` | Figure 9 — favorability boundaries over error rates |
 //! | `epr_pipelining` | Section 8.1 — JIT EPR window study |
+//! | `perf_report` | `BENCH_sched.json` — scheduler wall-clock trajectory |
 //!
 //! Run all of them with `scripts/run_all.sh` or individually via
 //! `cargo run --release -p scq-bench --bin <name>`.
+//!
+//! Binaries that sweep a (workload × policy) grid fan the points out
+//! across OS threads with [`parallel_map`]; every point is an
+//! independent scheduling run, so the sweeps scale to the machine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use scq_apps::{ising, sha1, square_root, Benchmark, IsingParams, Sha1Params, SqParams};
-use scq_braid::{schedule, BraidConfig, BraidSchedule, Policy};
+use scq_braid::{schedule, schedule_reference, BraidConfig, BraidSchedule, Policy};
 use scq_ir::{Circuit, DependencyDag, InteractionGraph};
 use scq_layout::place;
 
@@ -80,6 +88,74 @@ pub fn run_policy(circuit: &Circuit, policy: Policy, code_distance: u32) -> Brai
     schedule(circuit, &dag, &layout, &config).expect("figure 6 workloads schedule cleanly")
 }
 
+/// [`run_policy`] driven by the retained naive-stepping engine — the
+/// before side of the scheduler perf trajectory and the oracle of the
+/// equivalence suite.
+pub fn run_policy_reference(
+    circuit: &Circuit,
+    policy: Policy,
+    code_distance: u32,
+) -> BraidSchedule {
+    let dag = DependencyDag::from_circuit(circuit);
+    let graph = InteractionGraph::from_circuit(circuit);
+    let layout = place(&graph, policy.layout_strategy(), None);
+    let config = BraidConfig {
+        policy,
+        code_distance,
+        ..Default::default()
+    };
+    schedule_reference(circuit, &dag, &layout, &config)
+        .expect("figure 6 workloads schedule cleanly")
+}
+
+/// Maps `f` over `items` on a scoped thread pool, preserving input
+/// order in the result.
+///
+/// This is the fan-out primitive for the (workload × policy) sweep
+/// grids: each point is an independent scheduling run, so the sweep's
+/// wall-clock collapses to roughly its longest single point. Worker
+/// count is the machine's available parallelism capped at the item
+/// count; items are claimed from a shared atomic cursor, so long points
+/// (e.g. SHA-1 under policy 0) do not convoy short ones.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item was claimed")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +180,34 @@ mod tests {
         let c = b.finish();
         let s = run_policy(&c, Policy::P6, 3);
         assert!(s.cycles >= s.critical_path_cycles);
+    }
+
+    #[test]
+    fn reference_runner_matches_fast_runner() {
+        let mut b = Circuit::builder("smoke", 4);
+        b.cnot(0, 1).cnot(2, 3).cnot(1, 2).t(0);
+        let c = b.finish();
+        assert_eq!(
+            run_policy(&c, Policy::P3, 3),
+            run_policy_reference(&c, Policy::P3, 3)
+        );
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        assert!(parallel_map(&[] as &[u64], |&x| x).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn parallel_map_propagates_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = parallel_map(&items, |&x| {
+            assert!(x != 5, "deliberate");
+            x
+        });
     }
 }

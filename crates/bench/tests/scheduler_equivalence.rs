@@ -1,0 +1,40 @@
+//! Determinism suite for the event-driven braid scheduler: on every
+//! Figure 6 workload under every policy, the fast path must produce a
+//! `BraidSchedule` bit-identical to the retained naive-stepping
+//! reference — same cycles, braids_placed, adaptive_routes, drops,
+//! total_braid_hops, and mesh utilization.
+//!
+//! (Trace-level equivalence on randomized circuits is covered by
+//! `scq-braid`'s differential tests; this suite pins the paper-scale
+//! workloads.)
+
+use scq_bench::{fig6_workloads, parallel_map, run_policy, run_policy_reference};
+use scq_braid::Policy;
+
+const CODE_DISTANCE: u32 = 5;
+
+#[test]
+fn fast_path_matches_reference_on_fig6_grid() {
+    let workloads = fig6_workloads();
+    let points: Vec<(usize, Policy)> = (0..workloads.len())
+        .flat_map(|w| Policy::ALL.iter().map(move |&p| (w, p)))
+        .collect();
+    // Fan the grid out; each point runs both engines and compares.
+    let mismatches: Vec<String> = parallel_map(&points, |&(w, policy)| {
+        let (bench, circuit) = &workloads[w];
+        let fast = run_policy(circuit, policy, CODE_DISTANCE);
+        let naive = run_policy_reference(circuit, policy, CODE_DISTANCE);
+        if fast == naive {
+            None
+        } else {
+            Some(format!(
+                "{} under {policy}: fast {fast:?} != reference {naive:?}",
+                bench.name()
+            ))
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+}

@@ -5,9 +5,29 @@ use scq_layout::place;
 fn main() {
     let apps: Vec<(&str, scq_ir::Circuit)> = vec![
         ("GSE", scq_apps::gse(&scq_apps::GseParams::default())),
-        ("SQ", scq_apps::square_root(&scq_apps::SqParams { bits: 5, iterations: Some(3), target: 9 })),
-        ("SHA-1", scq_apps::sha1(&scq_apps::Sha1Params { word_bits: 16, rounds: 8 })),
-        ("IM", scq_apps::ising(&scq_apps::IsingParams { spins: 64, trotter_steps: 4, ..Default::default() })),
+        (
+            "SQ",
+            scq_apps::square_root(&scq_apps::SqParams {
+                bits: 5,
+                iterations: Some(3),
+                target: 9,
+            }),
+        ),
+        (
+            "SHA-1",
+            scq_apps::sha1(&scq_apps::Sha1Params {
+                word_bits: 16,
+                rounds: 8,
+            }),
+        ),
+        (
+            "IM",
+            scq_apps::ising(&scq_apps::IsingParams {
+                spins: 64,
+                trotter_steps: 4,
+                ..Default::default()
+            }),
+        ),
     ];
     for (name, c) in &apps {
         let dag = DependencyDag::from_circuit(c);
@@ -15,9 +35,18 @@ fn main() {
         print!("{name:8} ({} ops): ", c.len());
         for policy in Policy::ALL {
             let layout = place(&graph, policy.layout_strategy(), None);
-            let config = BraidConfig { policy, code_distance: 5, ..Default::default() };
+            let config = BraidConfig {
+                policy,
+                code_distance: 5,
+                ..Default::default()
+            };
             match schedule(c, &dag, &layout, &config) {
-                Ok(s) => print!("P{}={:.2}/{:.0}% ", policy.index(), s.schedule_to_cp_ratio(), s.mesh_utilization*100.0),
+                Ok(s) => print!(
+                    "P{}={:.2}/{:.0}% ",
+                    policy.index(),
+                    s.schedule_to_cp_ratio(),
+                    s.mesh_utilization * 100.0
+                ),
                 Err(e) => print!("P{}=ERR({e}) ", policy.index()),
             }
         }

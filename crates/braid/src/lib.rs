@@ -15,6 +15,28 @@
 //! because the result replays as a *static* schedule, deadlock freedom at
 //! runtime is free.
 //!
+//! # Engine architecture
+//!
+//! Two engines produce provably identical schedules:
+//!
+//! * **The event-driven fast path** ([`schedule`], [`schedule_traced`],
+//!   [`schedule_with_sink`]) — incremental ready/leg2-ready sets
+//!   maintained on state transitions (no per-cycle O(n) rescan),
+//!   event-driven time advance that jumps idle stretches straight to the
+//!   next release via `Mesh::tick_n`, allocation-free fused route+claim
+//!   walks with pooled route buffers, and tracing that is generic over a
+//!   [`TraceSink`] so untraced runs pay no event or clone cost.
+//! * **The naive-stepping reference** ([`schedule_reference`],
+//!   [`schedule_traced_reference`]) — the original one-cycle-at-a-time,
+//!   full-rescan engine, retained as the differential oracle.
+//!
+//! Equivalence is enforced by randomized differential tests in this
+//! crate and by the `scq-bench` suite over the full Figure 6
+//! (workload × policy) grid; `perf_report` (in `scq-bench`) records the
+//! measured speedup (aggregate ~6x, geometric mean ~8x over that grid,
+//! up to ~60-70x on serial workloads under policies 3-6) in
+//! `BENCH_sched.json`.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,12 +60,14 @@
 #![warn(missing_docs)]
 
 mod policy;
+mod reference;
 mod scheduler;
 mod trace;
 
 pub use policy::Policy;
+pub use reference::{schedule_reference, schedule_traced_reference};
 pub use scheduler::{
-    factory_sites, op_latency_cycles, schedule, schedule_circuit, schedule_traced, BraidConfig,
-    BraidSchedule, ScheduleError, TGateModel,
+    factory_sites, op_latency_cycles, schedule, schedule_circuit, schedule_traced,
+    schedule_with_sink, BraidConfig, BraidSchedule, ScheduleError, TGateModel,
 };
-pub use trace::{BraidEvent, BraidTrace, TraceConflict};
+pub use trace::{BraidEvent, BraidTrace, EventCollector, NoTrace, TraceConflict, TraceSink};

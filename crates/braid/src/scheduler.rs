@@ -8,10 +8,10 @@ use std::fmt;
 
 use scq_ir::{Circuit, DependencyDag, Gate};
 use scq_layout::Layout;
-use scq_mesh::{Coord, Mesh, Path};
+use scq_mesh::{Coord, Mesh, Path, RouteScratch};
 
 use crate::policy::{sort_candidates, Candidate, Policy};
-use crate::trace::{BraidEvent, BraidTrace};
+use crate::trace::{BraidTrace, EventCollector, NoTrace, TraceSink};
 
 /// How T gates obtain their magic states.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -175,7 +175,7 @@ impl fmt::Display for ScheduleError {
 impl Error for ScheduleError {}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum OpState {
+pub(crate) enum OpState {
     /// Waiting on dependencies.
     Blocked,
     /// Dependencies met; first event not yet issued.
@@ -193,7 +193,7 @@ enum OpState {
 }
 
 impl OpState {
-    fn started(self) -> bool {
+    pub(crate) fn started(self) -> bool {
         !matches!(self, OpState::Blocked | OpState::Ready)
     }
 }
@@ -207,8 +207,8 @@ pub fn factory_sites(mesh_w: u32, mesh_h: u32, count: u32) -> Vec<Coord> {
     let bottom = count - top;
     for (row, n) in [(0u32, top), (mesh_h - 1, bottom)] {
         for i in 0..n {
-            let x = ((2 * u64::from(i) + 1) * u64::from(mesh_w - 1) / (2 * u64::from(n).max(1)))
-                as u32;
+            let x =
+                ((2 * u64::from(i) + 1) * u64::from(mesh_w - 1) / (2 * u64::from(n).max(1))) as u32;
             sites.push(Coord::new(x, row));
         }
     }
@@ -228,6 +228,13 @@ pub fn factory_sites(mesh_w: u32, mesh_h: u32, count: u32) -> Vec<Coord> {
 /// safe precisely because the resulting schedule is *static* (replayed
 /// verbatim on the machine, Section 6.1).
 ///
+/// This entry point runs the event-driven engine with the zero-cost
+/// [`NoTrace`] sink: no events are recorded and route buffers are
+/// recycled, so it is the fastest way to obtain a [`BraidSchedule`].
+/// The engine is guaranteed bit-identical to the retained naive
+/// reference ([`crate::schedule_reference`]); the `scq-bench`
+/// equivalence suite enforces this across every policy.
+///
 /// # Errors
 ///
 /// Returns [`ScheduleError::LayoutMismatch`] if `layout` does not place
@@ -243,7 +250,8 @@ pub fn schedule(
     layout: &Layout,
     config: &BraidConfig,
 ) -> Result<BraidSchedule, ScheduleError> {
-    schedule_traced(circuit, dag, layout, config).map(|(s, _)| s)
+    let mut sink = NoTrace;
+    schedule_with_sink(circuit, dag, layout, config, &mut sink)
 }
 
 /// Like [`schedule`], but also returns the [`BraidTrace`] — the static,
@@ -263,6 +271,190 @@ pub fn schedule_traced(
     layout: &Layout,
     config: &BraidConfig,
 ) -> Result<(BraidSchedule, BraidTrace), ScheduleError> {
+    let mut sink = EventCollector::default();
+    let stats = schedule_with_sink(circuit, dag, layout, config, &mut sink)?;
+    let (mesh_width, mesh_height) = trace_mesh_dims(layout, circuit.is_empty());
+    let trace = BraidTrace {
+        mesh_width,
+        mesh_height,
+        cycles: stats.cycles,
+        events: sink.events,
+    };
+    Ok((stats, trace))
+}
+
+/// Router-mesh dimensions for a layout, double resolution: tile (x, y)
+/// anchors at router (2x+1, 2y+1) and even rows/columns are the braid
+/// channels between tiles. The engine and the trace header derive their
+/// dimensions from this one formula; empty circuits clamp degenerate
+/// zero-size grids to a 3x3 mesh for a well-formed trace.
+fn trace_mesh_dims(layout: &Layout, is_empty: bool) -> (u32, u32) {
+    let (w, h) = if is_empty {
+        (layout.grid_width().max(1), layout.grid_height().max(1))
+    } else {
+        (layout.grid_width(), layout.grid_height())
+    };
+    (2 * w + 1, 2 * h + 1)
+}
+
+/// Mutable simulation state shared by the release and issue phases.
+struct Engine {
+    mesh: Mesh,
+    state: Vec<OpState>,
+    fail_count: Vec<u32>,
+    held_paths: Vec<Option<Path>>,
+    /// (time, op, is_final_release), min-ordered.
+    releases: BinaryHeap<Reverse<(u64, u32, bool)>>,
+    factory_free_at: Vec<u64>,
+    stats: BraidSchedule,
+    /// Recycled route buffers: refilled by the sink on release, drained
+    /// by issue attempts, so steady-state routing allocates nothing.
+    path_pool: Vec<Path>,
+    route_scratch: RouteScratch,
+}
+
+/// Immutable per-run context for issue attempts.
+struct IssueEnv<'a> {
+    circuit: &'a Circuit,
+    config: &'a BraidConfig,
+    factories: &'a [Coord],
+    /// Router anchor of each qubit's tile.
+    anchors: &'a [Coord],
+    /// Route hold time in cycles (`d + 1`).
+    hold: u64,
+}
+
+impl Engine {
+    /// Attempts to issue `leg` of `op` at time `t`. Semantics are
+    /// bit-for-bit those of the naive reference: the same escalation
+    /// ladder, the same failure accounting, the same drop rule — only
+    /// the route materialization is fused and allocation-free.
+    fn try_issue(&mut self, env: &IssueEnv<'_>, op: usize, leg: u8, t: u64) -> bool {
+        let inst = &env.circuit.instructions()[op];
+        let gate = inst.gate();
+        let local = !gate.is_two_qubit()
+            && (!gate.needs_magic_state() || env.config.t_gate_model != TGateModel::FactoryBraids);
+        if local {
+            self.state[op] = OpState::Running;
+            self.releases.push(Reverse((t + 1, op as u32, true)));
+            return true;
+        }
+        // Determine endpoints.
+        let (src, dst, factory_idx) = if gate.is_two_qubit() {
+            let qs = inst.qubits();
+            (
+                env.anchors[qs[0].raw() as usize],
+                env.anchors[qs[1].raw() as usize],
+                None,
+            )
+        } else {
+            // T gate from the nearest available factory.
+            let target = env.anchors[inst.qubits()[0].raw() as usize];
+            let mut best: Option<(u32, usize)> = None;
+            for (fi, &site) in env.factories.iter().enumerate() {
+                if self.factory_free_at[fi] > t {
+                    continue;
+                }
+                let dist = site.manhattan(target);
+                if best.map(|(bd, _)| dist < bd).unwrap_or(true) {
+                    best = Some((dist, fi));
+                }
+            }
+            match best {
+                Some((_, fi)) => (env.factories[fi], target, Some(fi)),
+                None => {
+                    self.fail_count[op] += 1;
+                    return false;
+                }
+            }
+        };
+        // Route selection escalates with starvation. The fused
+        // claim-walks check occupancy in place and only materialize a
+        // path (into a pooled buffer) on success.
+        let attempts = self.fail_count[op];
+        let owner = op as u32;
+        let mut path = self.path_pool.pop().unwrap_or_default();
+        let claimed = if attempts <= env.config.route_timeout {
+            self.mesh.claim_route_xy_into(src, dst, owner, &mut path)
+        } else if attempts <= 2 * env.config.route_timeout {
+            self.mesh.claim_route_yx_into(src, dst, owner, &mut path)
+        } else {
+            self.stats.adaptive_routes += 1;
+            self.mesh
+                .route_adaptive_into(src, dst, owner, &mut self.route_scratch, &mut path)
+                && self.mesh.try_claim(&path, owner)
+        };
+        if claimed {
+            self.stats.braids_placed += 1;
+            self.stats.total_braid_hops += path.len_hops() as u64;
+            self.held_paths[op] = Some(path);
+            self.fail_count[op] = 0;
+            if let Some(fi) = factory_idx {
+                self.factory_free_at[fi] = t + u64::from(env.config.magic_production_cycles);
+            }
+            let is_final = leg == 2 || !gate.is_two_qubit();
+            self.releases
+                .push(Reverse((t + env.hold, op as u32, is_final)));
+            self.state[op] = if leg == 1 && gate.is_two_qubit() {
+                OpState::Leg1Held
+            } else {
+                OpState::Leg2Held
+            };
+            true
+        } else {
+            self.path_pool.push(path);
+            self.fail_count[op] += 1;
+            if self.fail_count[op] > env.config.drop_timeout {
+                // Drop and re-inject: restart the routing ladder.
+                self.stats.drops += 1;
+                self.fail_count[op] = 2 * env.config.route_timeout; // stay adaptive
+            }
+            false
+        }
+    }
+}
+
+/// The event-driven scheduling engine, generic over the [`TraceSink`].
+///
+/// Three mechanisms make this the fast path while preserving
+/// bit-identical schedules versus [`crate::schedule_reference`]:
+///
+/// 1. **Incremental ready-sets.** Operations enter the `ready` /
+///    `leg2_ready` sets exactly when their state transitions (in-degree
+///    hitting zero, first leg releasing), so the per-cycle issue phase
+///    touches only issuable candidates instead of rescanning all `n`
+///    op states. Stale entries (ops that issued) are compacted out on
+///    the next use. The candidate buffer is reused across cycles.
+/// 2. **Event-driven time advance.** A cycle whose issue phase made
+///    *zero* attempts cannot change any scheduler state until the next
+///    release fires (failure counters only advance on attempts, and no
+///    ready T gate means factory availability is irrelevant), so `t`
+///    jumps straight to the release heap's next wake time and the mesh
+///    utilization clock advances in bulk via [`Mesh::tick_n`]. Cycles
+///    with a failed attempt still step one-by-one — starvation
+///    escalation is counted per cycle and is part of the schedule
+///    semantics.
+/// 3. **Allocation-free routing.** Dimension-ordered attempts use the
+///    fused [`Mesh::claim_route_xy_into`] walks (no route object on
+///    failure) and adaptive attempts reuse one [`RouteScratch`];
+///    successful routes land in pooled buffers that the sink returns on
+///    release.
+///
+/// # Errors
+///
+/// As [`schedule`].
+///
+/// # Panics
+///
+/// Panics if `dag` was not built from `circuit`.
+#[allow(clippy::too_many_lines)]
+pub fn schedule_with_sink<S: TraceSink>(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    layout: &Layout,
+    config: &BraidConfig,
+    sink: &mut S,
+) -> Result<BraidSchedule, ScheduleError> {
     assert_eq!(dag.len(), circuit.len(), "dag does not match circuit");
     if layout.num_qubits() < circuit.num_qubits() as usize {
         return Err(ScheduleError::LayoutMismatch {
@@ -276,58 +468,6 @@ pub fn schedule_traced(
     let critical_path_cycles = dag.weighted_critical_path(circuit, |_, inst| {
         op_latency_cycles(inst.gate(), d, config.t_gate_model)
     });
-    if n == 0 {
-        let empty = BraidSchedule {
-            cycles: 0,
-            critical_path_cycles: 0,
-            mesh_utilization: 0.0,
-            total_ops: 0,
-            braids_placed: 0,
-            adaptive_routes: 0,
-            drops: 0,
-            total_braid_hops: 0,
-        };
-        let trace = BraidTrace {
-            mesh_width: 2 * layout.grid_width().max(1) + 1,
-            mesh_height: 2 * layout.grid_height().max(1) + 1,
-            cycles: 0,
-            events: Vec::new(),
-        };
-        return Ok((empty, trace));
-    }
-
-    // Double-resolution mesh: tile (x, y) anchors at router (2x+1, 2y+1);
-    // even rows/columns are the braid channels between tiles.
-    let mesh_w = 2 * layout.grid_width() + 1;
-    let mesh_h = 2 * layout.grid_height() + 1;
-    let mut mesh = Mesh::new(mesh_w, mesh_h);
-    let anchor = |q: u32| {
-        let t = layout.tile(q);
-        Coord::new(2 * t.x + 1, 2 * t.y + 1)
-    };
-
-    let factory_count = config
-        .factory_count
-        .unwrap_or_else(|| layout.grid_width().max(2));
-    let factories = factory_sites(mesh_w, mesh_h, factory_count);
-    let mut factory_free_at: Vec<u64> = vec![0; factories.len()];
-
-    let mut state = vec![OpState::Blocked; n];
-    let mut remaining = vec![0u32; n];
-    for i in 0..n {
-        remaining[i] = dag.preds(i).len() as u32;
-        if remaining[i] == 0 {
-            state[i] = OpState::Ready;
-        }
-    }
-    let mut held_paths: Vec<Option<Path>> = vec![None; n];
-    let mut fail_count = vec![0u32; n];
-    let mut done_count = 0usize;
-
-    // (time, op, is_final_release)
-    let mut releases: BinaryHeap<Reverse<(u64, u32, bool)>> = BinaryHeap::new();
-    let mut events: Vec<BraidEvent> = Vec::new();
-
     let mut stats = BraidSchedule {
         cycles: 0,
         critical_path_cycles,
@@ -338,15 +478,96 @@ pub fn schedule_traced(
         drops: 0,
         total_braid_hops: 0,
     };
+    if n == 0 {
+        stats.critical_path_cycles = 0;
+        return Ok(stats);
+    }
+
+    let (mesh_w, mesh_h) = trace_mesh_dims(layout, false);
+    let anchors: Vec<Coord> = (0..circuit.num_qubits())
+        .map(|q| {
+            let tile = layout.tile(q);
+            Coord::new(2 * tile.x + 1, 2 * tile.y + 1)
+        })
+        .collect();
+
+    let factory_count = config
+        .factory_count
+        .unwrap_or_else(|| layout.grid_width().max(2));
+    let factories = factory_sites(mesh_w, mesh_h, factory_count);
+
+    let mut eng = Engine {
+        mesh: Mesh::new(mesh_w, mesh_h),
+        state: vec![OpState::Blocked; n],
+        fail_count: vec![0u32; n],
+        held_paths: vec![None; n],
+        releases: BinaryHeap::new(),
+        factory_free_at: vec![0; factories.len()],
+        stats,
+        path_pool: Vec::new(),
+        route_scratch: RouteScratch::new(),
+    };
+
+    // Incremental ready-sets: ops enter on state transitions and are
+    // compacted lazily, replacing the per-cycle full state scan. Policy
+    // 0 walks its issue pointer directly and never consults them, so it
+    // skips the bookkeeping entirely; the blocked-index heap is only
+    // consulted by the in-order interleaving policies (1-2).
+    let track_sets = config.policy != Policy::P0;
+    let track_blocked = matches!(config.policy, Policy::P1 | Policy::P2);
+    let mut ready: Vec<u32> = Vec::new();
+    let mut leg2_ready: Vec<u32> = Vec::new();
+    // Min-heap of still-blocked ops (lazy deletion): the in-order
+    // policies issue up to the lowest blocked index.
+    let mut blocked_heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+    let mut remaining = vec![0u32; n];
+    for (i, rem) in remaining.iter_mut().enumerate() {
+        *rem = dag.preds(i).len() as u32;
+        if *rem == 0 {
+            eng.state[i] = OpState::Ready;
+            if track_sets {
+                ready.push(i as u32);
+            }
+        } else if track_blocked {
+            blocked_heap.push(Reverse(i as u32));
+        }
+    }
+    let mut done_count = 0usize;
+
+    // Per-op priority inputs, precomputed once (the reference recomputes
+    // them per cycle; the values are identical by construction).
+    let criticality: Vec<u32> = (0..n).map(|i| dag.criticality(i)).collect();
+    let braid_length: Vec<u32> = circuit
+        .instructions()
+        .iter()
+        .map(|inst| {
+            if inst.gate().is_two_qubit() {
+                let qs = inst.qubits();
+                anchors[qs[0].raw() as usize].manhattan(anchors[qs[1].raw() as usize])
+            } else {
+                0
+            }
+        })
+        .collect();
 
     // Issue pointer for the in-order policies (0-2).
     let mut next_start = 0usize;
     // Criticality threshold for Policy 6's split length ordering: half
     // the maximum criticality in the program.
-    let crit_threshold =
-        (0..n).map(|i| dag.criticality(i)).max().unwrap_or(0).div_ceil(2);
+    let crit_threshold = criticality.iter().copied().max().unwrap_or(0).div_ceil(2);
 
-    let hold = u64::from(d) + 1;
+    let env = IssueEnv {
+        circuit,
+        config,
+        factories: &factories,
+        anchors: &anchors,
+        hold: u64::from(d) + 1,
+    };
+
+    // Reusable per-cycle candidate buffer.
+    let mut candidates: Vec<Candidate> = Vec::new();
+
+    let hold = env.hold;
     let mut t: u64 = 0;
     loop {
         if t > config.max_cycles {
@@ -356,148 +577,60 @@ pub fn schedule_traced(
         }
 
         // ---- Release phase: closings are timer-driven. ----
-        while let Some(&Reverse((rt, op, is_final))) = releases.peek() {
+        while let Some(&Reverse((rt, op, is_final))) = eng.releases.peek() {
             if rt > t {
                 break;
             }
-            releases.pop();
+            eng.releases.pop();
             let op = op as usize;
-            if let Some(path) = held_paths[op].take() {
-                mesh.release(&path, op as u32);
+            if let Some(path) = eng.held_paths[op].take() {
+                eng.mesh.release(&path, op as u32);
                 let two_qubit = circuit.instructions()[op].gate().is_two_qubit();
-                events.push(BraidEvent {
-                    op: op as u32,
-                    leg: if is_final && two_qubit { 2 } else { 1 },
-                    open_cycle: rt - hold,
-                    close_cycle: rt,
-                    path,
-                });
+                let leg = if is_final && two_qubit { 2 } else { 1 };
+                if let Some(buf) = sink.record(op as u32, leg, rt - hold, rt, path) {
+                    eng.path_pool.push(buf);
+                }
             }
             if is_final {
-                state[op] = OpState::Done;
+                eng.state[op] = OpState::Done;
                 done_count += 1;
                 for &s in dag.succs(op) {
                     let s = s as usize;
                     remaining[s] -= 1;
                     if remaining[s] == 0 {
-                        state[s] = OpState::Ready;
+                        eng.state[s] = OpState::Ready;
+                        if track_sets {
+                            ready.push(s as u32);
+                        }
                     }
                 }
             } else {
-                state[op] = OpState::Leg2Ready;
+                eng.state[op] = OpState::Leg2Ready;
+                if track_sets {
+                    leg2_ready.push(op as u32);
+                }
             }
         }
         if done_count == n {
-            stats.cycles = t;
+            eng.stats.cycles = t;
             break;
         }
 
         // ---- Issue phase. ----
-        let try_issue = |op: usize,
-                             leg: u8,
-                             mesh: &mut Mesh,
-                             state: &mut [OpState],
-                             fail_count: &mut [u32],
-                             held_paths: &mut [Option<Path>],
-                             releases: &mut BinaryHeap<Reverse<(u64, u32, bool)>>,
-                             factory_free_at: &mut [u64],
-                             stats: &mut BraidSchedule|
-         -> bool {
-            let inst = &circuit.instructions()[op];
-            let gate = inst.gate();
-            let local = !gate.is_two_qubit()
-                && (!gate.needs_magic_state()
-                    || config.t_gate_model != TGateModel::FactoryBraids);
-            if local {
-                state[op] = OpState::Running;
-                releases.push(Reverse((t + 1, op as u32, true)));
-                return true;
-            }
-            // Determine endpoints.
-            let (src, dst, factory_idx) = if gate.is_two_qubit() {
-                let qs = inst.qubits();
-                (anchor(qs[0].raw()), anchor(qs[1].raw()), None)
-            } else {
-                // T gate from the nearest available factory.
-                let target = anchor(inst.qubits()[0].raw());
-                let mut best: Option<(u32, usize)> = None;
-                for (fi, &site) in factories.iter().enumerate() {
-                    if factory_free_at[fi] > t {
-                        continue;
-                    }
-                    let dist = site.manhattan(target);
-                    if best.map(|(bd, _)| dist < bd).unwrap_or(true) {
-                        best = Some((dist, fi));
-                    }
-                }
-                match best {
-                    Some((_, fi)) => (factories[fi], target, Some(fi)),
-                    None => {
-                        fail_count[op] += 1;
-                        return false;
-                    }
-                }
-            };
-            // Route selection escalates with starvation.
-            let attempts = fail_count[op];
-            let path = if attempts <= config.route_timeout {
-                Some(mesh.route_xy(src, dst))
-            } else if attempts <= 2 * config.route_timeout {
-                Some(mesh.route_yx(src, dst))
-            } else {
-                stats.adaptive_routes += 1;
-                mesh.route_adaptive(src, dst, op as u32)
-            };
-            let claimed = match path {
-                Some(p) if mesh.try_claim(&p, op as u32) => Some(p),
-                _ => None,
-            };
-            match claimed {
-                Some(p) => {
-                    stats.braids_placed += 1;
-                    stats.total_braid_hops += p.len_hops() as u64;
-                    held_paths[op] = Some(p);
-                    fail_count[op] = 0;
-                    if let Some(fi) = factory_idx {
-                        factory_free_at[fi] = t + u64::from(config.magic_production_cycles);
-                    }
-                    let is_final = leg == 2 || !gate.is_two_qubit();
-                    releases.push(Reverse((t + hold, op as u32, is_final)));
-                    state[op] = if leg == 1 && gate.is_two_qubit() {
-                        OpState::Leg1Held
-                    } else {
-                        OpState::Leg2Held
-                    };
-                    true
-                }
-                None => {
-                    fail_count[op] += 1;
-                    if fail_count[op] > config.drop_timeout {
-                        // Drop and re-inject: restart the routing ladder.
-                        stats.drops += 1;
-                        fail_count[op] = 2 * config.route_timeout; // stay adaptive
-                    }
-                    false
-                }
-            }
-        };
-
+        // `attempts` counts try_issue calls: a cycle with zero attempts
+        // is a provable no-op, enabling the event jump below.
+        let mut attempts = 0usize;
         match config.policy {
             Policy::P0 => {
-                // Strict program order for operations *and* events: the
-                // global event sequence (op0.leg1, op0.leg2, op1.leg1,
-                // ...) issues strictly in order. Braids pipeline — the
-                // next event may issue while earlier braids stabilize —
-                // but no event ever overtakes an earlier one.
+                // Strict program order for operations *and* events; the
+                // pointer walk is already O(issued), no sets needed.
                 loop {
-                    while next_start < n && state[next_start].started() {
+                    while next_start < n && eng.state[next_start].started() {
                         // Ops whose *last* event has issued are passed;
                         // an op holding its first leg still gates the
                         // pointer (its leg-2 event is next in order).
-                        match state[next_start] {
-                            OpState::Running | OpState::Leg2Held | OpState::Done => {
-                                next_start += 1
-                            }
+                        match eng.state[next_start] {
+                            OpState::Running | OpState::Leg2Held | OpState::Done => next_start += 1,
                             _ => break,
                         }
                     }
@@ -505,17 +638,15 @@ pub fn schedule_traced(
                         break;
                     }
                     let op = next_start;
-                    let issued = match state[op] {
-                        OpState::Ready => try_issue(
-                            op, 1, &mut mesh, &mut state, &mut fail_count,
-                            &mut held_paths, &mut releases, &mut factory_free_at,
-                            &mut stats,
-                        ),
-                        OpState::Leg2Ready => try_issue(
-                            op, 2, &mut mesh, &mut state, &mut fail_count,
-                            &mut held_paths, &mut releases, &mut factory_free_at,
-                            &mut stats,
-                        ),
+                    let issued = match eng.state[op] {
+                        OpState::Ready => {
+                            attempts += 1;
+                            eng.try_issue(&env, op, 1, t)
+                        }
+                        OpState::Leg2Ready => {
+                            attempts += 1;
+                            eng.try_issue(&env, op, 2, t)
+                        }
                         _ => false,
                     };
                     if !issued {
@@ -524,87 +655,87 @@ pub fn schedule_traced(
                 }
             }
             Policy::P1 | Policy::P2 => {
-                // Events interleave: all pending second legs may open.
-                for op in 0..n {
-                    if state[op] == OpState::Leg2Ready {
-                        let _ = try_issue(
-                            op, 2, &mut mesh, &mut state, &mut fail_count,
-                            &mut held_paths, &mut releases, &mut factory_free_at,
-                            &mut stats,
-                        );
-                    }
+                // Events interleave: all pending second legs may open,
+                // in program order.
+                leg2_ready.retain(|&op| eng.state[op as usize] == OpState::Leg2Ready);
+                leg2_ready.sort_unstable();
+                for &op in &leg2_ready {
+                    attempts += 1;
+                    let _ = eng.try_issue(&env, op as usize, 2, t);
                 }
                 // Operations start in program order; stop at the first
-                // blocked or unplaceable op.
-                while next_start < n && state[next_start].started() {
+                // blocked or unplaceable op. The lowest blocked index is
+                // the issue barrier (ops never re-enter Blocked).
+                while next_start < n && eng.state[next_start].started() {
                     next_start += 1;
                 }
-                let mut idx = next_start;
-                while idx < n {
-                    match state[idx] {
-                        OpState::Blocked => break,
-                        OpState::Ready => {
-                            let ok = try_issue(
-                                idx, 1, &mut mesh, &mut state, &mut fail_count,
-                                &mut held_paths, &mut releases, &mut factory_free_at,
-                                &mut stats,
-                            );
-                            if !ok {
-                                break;
-                            }
-                            idx += 1;
+                let barrier = loop {
+                    match blocked_heap.peek() {
+                        Some(&Reverse(i)) if eng.state[i as usize] != OpState::Blocked => {
+                            blocked_heap.pop();
                         }
-                        _ => idx += 1, // already in flight
+                        Some(&Reverse(i)) => break i,
+                        None => break n as u32,
+                    }
+                };
+                ready.retain(|&op| eng.state[op as usize] == OpState::Ready);
+                ready.sort_unstable();
+                for &op in &ready {
+                    if op >= barrier {
+                        break;
+                    }
+                    attempts += 1;
+                    if !eng.try_issue(&env, op as usize, 1, t) {
+                        break;
                     }
                 }
             }
             _ => {
                 // Policies 3-6: free-for-all ordered by the priority
-                // comparator; place as many braids as possible.
-                let mut candidates: Vec<Candidate> = Vec::new();
-                for (op, &op_state) in state.iter().enumerate() {
-                    let leg = match op_state {
-                        OpState::Ready => 1,
-                        OpState::Leg2Ready => 2,
-                        _ => continue,
-                    };
-                    let inst = &circuit.instructions()[op];
-                    let length = if inst.gate().is_two_qubit() {
-                        let qs = inst.qubits();
-                        anchor(qs[0].raw()).manhattan(anchor(qs[1].raw()))
-                    } else {
-                        0
-                    };
-                    candidates.push(Candidate {
-                        op: op as u32,
-                        leg,
-                        criticality: dag.criticality(op),
-                        length,
-                    });
+                // comparator; place as many braids as possible. The
+                // comparator ends in a program-order tie-break, so it is
+                // a total order and the ready-sets need no pre-sorting.
+                ready.retain(|&op| eng.state[op as usize] == OpState::Ready);
+                leg2_ready.retain(|&op| eng.state[op as usize] == OpState::Leg2Ready);
+                candidates.clear();
+                for (leg, set) in [(1u8, &ready), (2u8, &leg2_ready)] {
+                    for &op in set.iter() {
+                        candidates.push(Candidate {
+                            op,
+                            leg,
+                            criticality: criticality[op as usize],
+                            length: braid_length[op as usize],
+                        });
+                    }
                 }
                 sort_candidates(config.policy, &mut candidates, crit_threshold);
-                for c in candidates {
-                    let _ = try_issue(
-                        c.op as usize, c.leg, &mut mesh, &mut state, &mut fail_count,
-                        &mut held_paths, &mut releases, &mut factory_free_at,
-                        &mut stats,
-                    );
+                for c in &candidates {
+                    attempts += 1;
+                    let _ = eng.try_issue(&env, c.op as usize, c.leg, t);
                 }
             }
         }
 
-        mesh.tick();
-        t += 1;
+        if attempts == 0 {
+            // Nothing was issuable this cycle, so no scheduler state can
+            // change before the next release fires: jump there directly
+            // and account the skipped idle cycles in bulk. (When a T
+            // gate is waiting on a factory it shows up as a failed
+            // attempt, so factory wake times never gate this jump.)
+            let wake = eng
+                .releases
+                .peek()
+                .map_or(t + 1, |&Reverse((rt, _, _))| rt.max(t + 1));
+            eng.mesh.tick_n(wake - t);
+            t = wake;
+        } else {
+            eng.mesh.tick();
+            t += 1;
+        }
     }
 
-    stats.mesh_utilization = mesh.utilization();
-    let trace = BraidTrace {
-        mesh_width: mesh_w,
-        mesh_height: mesh_h,
-        cycles: stats.cycles,
-        events,
-    };
-    Ok((stats, trace))
+    eng.stats.mesh_utilization = eng.mesh.utilization();
+    Ok(eng.stats)
 }
 
 /// Convenience wrapper: builds the DAG, places the qubits with the
@@ -727,11 +858,15 @@ mod tests {
             s.cycles
         );
         // Policy 6 runs the two ops fully in parallel.
-        let p6 = run(&{
-            let mut b = Circuit::builder("par", 4);
-            b.cnot(0, 1).cnot(2, 3);
-            b.finish()
-        }, Policy::P6, 5);
+        let p6 = run(
+            &{
+                let mut b = Circuit::builder("par", 4);
+                b.cnot(0, 1).cnot(2, 3);
+                b.finish()
+            },
+            Policy::P6,
+            5,
+        );
         assert!(p6.cycles < s.cycles);
     }
 
@@ -799,7 +934,10 @@ mod tests {
             ..Default::default()
         };
         let err = schedule_circuit(&contended_circuit(), &config).unwrap_err();
-        assert!(matches!(err, ScheduleError::CycleLimitExceeded { limit: 3 }));
+        assert!(matches!(
+            err,
+            ScheduleError::CycleLimitExceeded { limit: 3 }
+        ));
         assert!(err.to_string().contains("3-cycle"));
     }
 
@@ -849,11 +987,17 @@ mod tests {
 
     #[test]
     fn op_latency_model() {
-        assert_eq!(op_latency_cycles(Gate::Cnot, 5, TGateModel::FactoryBraids), 12);
+        assert_eq!(
+            op_latency_cycles(Gate::Cnot, 5, TGateModel::FactoryBraids),
+            12
+        );
         assert_eq!(op_latency_cycles(Gate::T, 5, TGateModel::FactoryBraids), 6);
         assert_eq!(op_latency_cycles(Gate::T, 5, TGateModel::LocalBuffered), 1);
         assert_eq!(op_latency_cycles(Gate::H, 5, TGateModel::FactoryBraids), 1);
-        assert_eq!(op_latency_cycles(Gate::MeasZ, 5, TGateModel::FactoryBraids), 1);
+        assert_eq!(
+            op_latency_cycles(Gate::MeasZ, 5, TGateModel::FactoryBraids),
+            1
+        );
     }
 
     #[test]

@@ -16,6 +16,68 @@ use std::fmt;
 
 use scq_mesh::{Coord, Mesh, Path};
 
+/// Receiver for braid-leg events as the scheduler closes them.
+///
+/// The scheduling engine is generic over its sink so that the untraced
+/// entry point ([`schedule`](crate::schedule), which every benchmark
+/// binary uses) pays *zero* tracing cost: with [`NoTrace`] the event
+/// arguments are discarded and the closed leg's [`Path`] buffer is
+/// handed back to the engine for reuse, so no event is pushed and no
+/// path is cloned or dropped. [`EventCollector`] is the recording sink
+/// behind [`schedule_traced`](crate::schedule_traced).
+pub trait TraceSink {
+    /// Records one closed braid leg.
+    ///
+    /// Returns the path buffer back to the caller when the sink did not
+    /// keep it, so hot loops can recycle the allocation.
+    fn record(
+        &mut self,
+        op: u32,
+        leg: u8,
+        open_cycle: u64,
+        close_cycle: u64,
+        path: Path,
+    ) -> Option<Path>;
+}
+
+/// The zero-cost sink: drops every event and recycles path buffers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoTrace;
+
+impl TraceSink for NoTrace {
+    #[inline]
+    fn record(&mut self, _op: u32, _leg: u8, _open: u64, _close: u64, path: Path) -> Option<Path> {
+        Some(path)
+    }
+}
+
+/// Sink that retains every braid leg as a [`BraidEvent`].
+#[derive(Clone, Debug, Default)]
+pub struct EventCollector {
+    /// The recorded legs, in close-cycle order.
+    pub events: Vec<BraidEvent>,
+}
+
+impl TraceSink for EventCollector {
+    fn record(
+        &mut self,
+        op: u32,
+        leg: u8,
+        open_cycle: u64,
+        close_cycle: u64,
+        path: Path,
+    ) -> Option<Path> {
+        self.events.push(BraidEvent {
+            op,
+            leg,
+            open_cycle,
+            close_cycle,
+            path,
+        });
+        None
+    }
+}
+
 /// One braid leg in the static schedule.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BraidEvent {
@@ -114,7 +176,11 @@ impl BraidTrace {
         let mut heat = HashMap::new();
         for e in &self.events {
             for (a, b) in e.path.links() {
-                let key = if (a.x, a.y) <= (b.x, b.y) { (a, b) } else { (b, a) };
+                let key = if (a.x, a.y) <= (b.x, b.y) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 *heat.entry(key).or_insert(0) += e.duration();
             }
         }
@@ -136,7 +202,11 @@ impl BraidTrace {
             }
         };
         let link = |a: Coord, b: Coord| -> u64 {
-            let key = if (a.x, a.y) <= (b.x, b.y) { (a, b) } else { (b, a) };
+            let key = if (a.x, a.y) <= (b.x, b.y) {
+                (a, b)
+            } else {
+                (b, a)
+            };
             heat.get(&key).copied().unwrap_or(0)
         };
         let mut out = String::new();
@@ -205,10 +275,7 @@ mod tests {
             mesh_width: 5,
             mesh_height: 5,
             cycles: 10,
-            events: vec![
-                event(0, 0, 5, row(0, 0, 4)),
-                event(1, 0, 5, row(2, 0, 4)),
-            ],
+            events: vec![event(0, 0, 5, row(0, 0, 4)), event(1, 0, 5, row(2, 0, 4))],
         };
         assert!(trace.validate().is_ok());
     }

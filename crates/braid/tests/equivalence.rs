@@ -1,0 +1,139 @@
+//! Differential tests: the event-driven engine must be bit-identical to
+//! the retained naive-stepping reference on random circuits, for every
+//! policy, in both the schedule statistics and the full trace.
+
+use proptest::prelude::*;
+use scq_braid::{schedule_traced, schedule_traced_reference, BraidConfig, Policy, TGateModel};
+use scq_ir::{Circuit, DependencyDag, Gate, InteractionGraph};
+use scq_layout::place;
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (3u32..10)
+        .prop_flat_map(|n| {
+            let inst = (0usize..5, 0..n, 0..n.saturating_sub(1).max(1));
+            (Just(n), proptest::collection::vec(inst, 1..60))
+        })
+        .prop_map(|(n, raw)| {
+            let mut b = Circuit::builder("prop", n);
+            for (kind, a, off) in raw {
+                match kind {
+                    0 => {
+                        b.h(a);
+                    }
+                    1 => {
+                        b.t(a);
+                    }
+                    2 => {
+                        b.s(a);
+                    }
+                    _ => {
+                        let second = (a + 1 + off) % n;
+                        if second != a {
+                            b.try_push(Gate::Cnot, &[a, second]).unwrap();
+                        }
+                    }
+                }
+            }
+            b.finish()
+        })
+}
+
+fn assert_equivalent(circuit: &Circuit, config: &BraidConfig) {
+    let dag = DependencyDag::from_circuit(circuit);
+    let graph = InteractionGraph::from_circuit(circuit);
+    let layout = place(&graph, config.policy.layout_strategy(), None);
+    let fast = schedule_traced(circuit, &dag, &layout, config);
+    let naive = schedule_traced_reference(circuit, &dag, &layout, config);
+    match (fast, naive) {
+        (Ok((fs, ft)), Ok((ns, nt))) => {
+            assert_eq!(fs, ns, "{} stats diverged", config.policy);
+            assert_eq!(ft, nt, "{} trace diverged", config.policy);
+        }
+        (fast, naive) => {
+            assert_eq!(
+                fast.map(|(s, _)| s).err(),
+                naive.map(|(s, _)| s).err(),
+                "{} error behavior diverged",
+                config.policy
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_on_random_circuits(c in arb_circuit()) {
+        for policy in Policy::ALL {
+            let config = BraidConfig {
+                policy,
+                code_distance: 3,
+                ..Default::default()
+            };
+            assert_equivalent(&c, &config);
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_buffered_t_gates(c in arb_circuit()) {
+        for policy in [Policy::P0, Policy::P2, Policy::P6] {
+            let config = BraidConfig {
+                policy,
+                code_distance: 5,
+                t_gate_model: TGateModel::LocalBuffered,
+                ..Default::default()
+            };
+            assert_equivalent(&c, &config);
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_routing_stress(c in arb_circuit()) {
+        // Tiny timeouts force the full escalation ladder (YX, adaptive,
+        // drops) so the fused claim walks and scratch BFS are exercised.
+        for policy in [Policy::P1, Policy::P4, Policy::P6] {
+            let config = BraidConfig {
+                policy,
+                code_distance: 3,
+                route_timeout: 1,
+                drop_timeout: 3,
+                ..Default::default()
+            };
+            assert_equivalent(&c, &config);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_cycle_limit_errors(c in arb_circuit()) {
+        let config = BraidConfig {
+            policy: Policy::P6,
+            code_distance: 3,
+            max_cycles: 10,
+            ..Default::default()
+        };
+        assert_equivalent(&c, &config);
+    }
+}
+
+#[test]
+fn engines_agree_on_starved_factories() {
+    // One slow factory and many T gates: exercises the no-factory
+    // failure path and factory wake times not gating the event jump.
+    let mut b = Circuit::builder("t-storm", 6);
+    for i in 0..6 {
+        b.t(i);
+        b.t(5 - i);
+    }
+    let c = b.finish();
+    for policy in Policy::ALL {
+        let config = BraidConfig {
+            policy,
+            code_distance: 5,
+            factory_count: Some(1),
+            magic_production_cycles: 9,
+            ..Default::default()
+        };
+        assert_equivalent(&c, &config);
+    }
+}

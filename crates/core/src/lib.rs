@@ -307,8 +307,7 @@ mod tests {
         let mut b = Circuit::builder("custom", 4);
         b.h(0).cnot(0, 1).cnot(1, 2).t(3).cnot(2, 3);
         let c = b.finish();
-        let report =
-            run_toolflow_on(Benchmark::Gse, &c, &ToolflowConfig::default()).unwrap();
+        let report = run_toolflow_on(Benchmark::Gse, &c, &ToolflowConfig::default()).unwrap();
         assert_eq!(report.stats.total_ops, 5);
     }
 

@@ -140,12 +140,11 @@ pub fn estimate(
             let exposed_cycles =
                 (dist_tiles * hop - config.prefetch_hide_cycles).max(0.0) * exposure;
             let comm_cost = config.teleport_fixed_cycles + exposed_cycles;
-            let per_op = (profile.frac_two_qubit + profile.frac_t) * comm_cost
-                + profile.frac_local() * 1.0;
+            let per_op =
+                (profile.frac_two_qubit + profile.frac_t) * comm_cost + profile.frac_local() * 1.0;
             let cycles = depth * per_op * (1.0 + config.jit_latency_overhead);
             // Little's law: live EPR pairs = launch rate x time in flight.
-            let comm_rate =
-                (profile.frac_two_qubit + profile.frac_t) * kq / cycles.max(1.0);
+            let comm_rate = (profile.frac_two_qubit + profile.frac_t) * kq / cycles.max(1.0);
             let live_pairs = comm_rate * dist_tiles * hop;
             let provision = config.factory.provision(q.ceil() as u64, true);
             let tiles = q * (1.0 + tile.channel_overhead())
@@ -206,7 +205,11 @@ mod tests {
             frac_t: 0.3,
             braid_congestion: 2.2,
             layout_kappa: 0.7,
-            scaling: LogicalScaling::Power { a: 1.0, b: 0.5, c: 1.0 },
+            scaling: LogicalScaling::Power {
+                a: 1.0,
+                b: 0.5,
+                c: 1.0,
+            },
         }
     }
 

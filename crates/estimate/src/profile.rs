@@ -118,8 +118,7 @@ impl AppProfile {
         let graph = InteractionGraph::from_circuit(&circuit);
         let layout = place(&graph, LayoutStrategy::InteractionAware, None);
         let kappa = if graph.total_weight() > 0 && circuit.num_qubits() > 1 {
-            layout.avg_interaction_distance(&graph)
-                / f64::from(circuit.num_qubits()).sqrt()
+            layout.avg_interaction_distance(&graph) / f64::from(circuit.num_qubits()).sqrt()
         } else {
             0.5
         };
@@ -160,8 +159,7 @@ impl AppProfile {
         let graph = InteractionGraph::from_circuit(circuit);
         let layout = place(&graph, LayoutStrategy::InteractionAware, None);
         let kappa = if graph.total_weight() > 0 && circuit.num_qubits() > 1 {
-            layout.avg_interaction_distance(&graph)
-                / f64::from(circuit.num_qubits()).sqrt()
+            layout.avg_interaction_distance(&graph) / f64::from(circuit.num_qubits()).sqrt()
         } else {
             0.5
         };
@@ -241,7 +239,11 @@ mod tests {
 
     #[test]
     fn power_scaling() {
-        let s = LogicalScaling::Power { a: 2.0, b: 0.5, c: 1.0 };
+        let s = LogicalScaling::Power {
+            a: 2.0,
+            b: 0.5,
+            c: 1.0,
+        };
         assert!((s.qubits_for_ops(100.0) - 21.0).abs() < 1e-9);
     }
 

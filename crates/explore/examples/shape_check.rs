@@ -5,15 +5,23 @@ use scq_explore::*;
 fn main() {
     let cfg = EstimateConfig::default();
     println!("== profiles ==");
-    let profiles: Vec<AppProfile> = Benchmark::ALL.iter().map(|&b| AppProfile::calibrate(b)).collect();
+    let profiles: Vec<AppProfile> = Benchmark::ALL
+        .iter()
+        .map(|&b| AppProfile::calibrate(b))
+        .collect();
     for p in &profiles {
-        println!("{:18} P={:6.2} f2q={:.2} fT={:.2} C={:4.2} kappa={:.3}", p.name, p.parallelism, p.frac_two_qubit, p.frac_t, p.braid_congestion, p.layout_kappa);
+        println!(
+            "{:18} P={:6.2} f2q={:.2} fT={:.2} C={:4.2} kappa={:.3}",
+            p.name, p.parallelism, p.frac_two_qubit, p.frac_t, p.braid_congestion, p.layout_kappa
+        );
     }
     println!("\n== fig8 ratios (pP=1e-8) ==");
     for p in &profiles {
         let pts = ratio_sweep(p, &cfg, &log_spaced(1e2, 1e24, 12));
         print!("{:18}", p.name);
-        for pt in &pts { print!(" {:5.2}", pt.space_time_ratio()); }
+        for pt in &pts {
+            print!(" {:5.2}", pt.space_time_ratio());
+        }
         println!();
     }
     println!("\n== fig9 boundaries (rows: apps, cols: pP 1e-8..1e-3) ==");
@@ -22,7 +30,10 @@ fn main() {
         let line = favorability_boundary(p, &cfg, &rates, 1e24);
         print!("{:18}", p.name);
         for (_, c) in &line.points {
-            match c { Some(k) => print!(" {:8.1e}", k), None => print!("    >1e24") }
+            match c {
+                Some(k) => print!(" {:8.1e}", k),
+                None => print!("    >1e24"),
+            }
         }
         println!();
     }

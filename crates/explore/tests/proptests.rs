@@ -8,12 +8,12 @@ use scq_explore::{crossover_size, log_spaced, ratio_sweep, sweep_computation_siz
 /// Arbitrary plausible application profile.
 fn arb_profile() -> impl Strategy<Value = AppProfile> {
     (
-        1.0f64..80.0,   // parallelism
-        0.05f64..0.5,   // frac 2q
-        0.05f64..0.4,   // frac T
-        1.0f64..3.0,    // braid congestion
-        0.1f64..1.0,    // kappa
-        0.3f64..0.7,    // qubit-scaling exponent
+        1.0f64..80.0, // parallelism
+        0.05f64..0.5, // frac 2q
+        0.05f64..0.4, // frac T
+        1.0f64..3.0,  // braid congestion
+        0.1f64..1.0,  // kappa
+        0.3f64..0.7,  // qubit-scaling exponent
     )
         .prop_map(|(p, f2, ft, c, k, b)| AppProfile {
             name: "prop".into(),
@@ -53,7 +53,7 @@ proptest! {
     fn crossover_brackets_the_favorability_flip(profile in arb_profile()) {
         let cfg = EstimateConfig::default();
         if let Some(kq) = crossover_size(&profile, &cfg, (1.0, 1e24)) {
-            prop_assert!(kq >= 1.0 && kq <= 1e24);
+            prop_assert!((1.0..=1e24).contains(&kq));
             // Just above the crossover, double-defect is no worse
             // (within refinement tolerance).
             let (p, dd) = estimate_both(&profile, kq * 1.05, &cfg).unwrap();

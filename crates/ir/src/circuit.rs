@@ -132,7 +132,10 @@ impl Circuit {
 
     /// Counts instructions applying `gate`.
     pub fn count_gate(&self, gate: Gate) -> usize {
-        self.instructions.iter().filter(|i| i.gate() == gate).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate() == gate)
+            .count()
     }
 
     /// Number of `T`/`Tdg` instructions — each consumes a magic state.
@@ -256,7 +259,9 @@ impl CircuitBuilder {
         }
         let a = Qubit::new(qubits[0]);
         let b = Qubit::new(*qubits.get(1).unwrap_or(&qubits[0]));
-        self.circuit.instructions.push(Instruction::new(gate, [a, b]));
+        self.circuit
+            .instructions
+            .push(Instruction::new(gate, [a, b]));
         Ok(self)
     }
 
@@ -357,8 +362,14 @@ mod tests {
         let c = ghz(3);
         assert_eq!(c.len(), 3);
         assert_eq!(c.instructions()[0].gate(), Gate::H);
-        assert_eq!(c.instructions()[1].qubits(), &[Qubit::new(0), Qubit::new(1)]);
-        assert_eq!(c.instructions()[2].qubits(), &[Qubit::new(0), Qubit::new(2)]);
+        assert_eq!(
+            c.instructions()[1].qubits(),
+            &[Qubit::new(0), Qubit::new(1)]
+        );
+        assert_eq!(
+            c.instructions()[2].qubits(),
+            &[Qubit::new(0), Qubit::new(2)]
+        );
     }
 
     #[test]
@@ -396,9 +407,23 @@ mod tests {
     fn try_push_rejects_wrong_arity() {
         let mut b = Circuit::builder("bad", 2);
         let err = b.try_push(Gate::Cnot, &[1]).unwrap_err();
-        assert!(matches!(err, IrError::WrongArity { expected: 2, actual: 1, .. }));
+        assert!(matches!(
+            err,
+            IrError::WrongArity {
+                expected: 2,
+                actual: 1,
+                ..
+            }
+        ));
         let err = b.try_push(Gate::H, &[0, 1]).unwrap_err();
-        assert!(matches!(err, IrError::WrongArity { expected: 1, actual: 2, .. }));
+        assert!(matches!(
+            err,
+            IrError::WrongArity {
+                expected: 1,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -415,7 +440,10 @@ mod tests {
         outer.append(&inner, 1);
         assert_eq!(outer.num_qubits(), 3);
         assert_eq!(outer.instructions()[0].qubits(), &[Qubit::new(1)]);
-        assert_eq!(outer.instructions()[1].qubits(), &[Qubit::new(1), Qubit::new(2)]);
+        assert_eq!(
+            outer.instructions()[1].qubits(),
+            &[Qubit::new(1), Qubit::new(2)]
+        );
     }
 
     #[test]

@@ -181,11 +181,7 @@ impl DependencyDag {
     where
         F: FnMut(usize, &Instruction) -> u64,
     {
-        assert_eq!(
-            circuit.len(),
-            self.len(),
-            "circuit does not match this DAG"
-        );
+        assert_eq!(circuit.len(), self.len(), "circuit does not match this DAG");
         let mut finish = vec![0u64; self.len()];
         let mut best = 0u64;
         for (i, inst) in circuit.iter().enumerate() {
@@ -202,12 +198,16 @@ impl DependencyDag {
 
     /// Indices of instructions with no dependencies (the initial ready set).
     pub fn sources(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.preds[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.preds[i].is_empty())
+            .collect()
     }
 
     /// Indices of instructions with no dependents.
     pub fn sinks(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.succs[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.succs[i].is_empty())
+            .collect()
     }
 
     /// Verifies internal invariants; used by tests and debug assertions.
@@ -319,13 +319,16 @@ mod tests {
         // Unit latencies reproduce depth.
         assert_eq!(dag.weighted_critical_path(&c, |_, _| 1), 3);
         // CNOT is 10x: path h(1) + cnot(10) + meas(1) = 12.
-        let w = dag.weighted_critical_path(&c, |_, inst| {
-            if inst.gate().is_two_qubit() {
-                10
-            } else {
-                1
-            }
-        });
+        let w = dag.weighted_critical_path(
+            &c,
+            |_, inst| {
+                if inst.gate().is_two_qubit() {
+                    10
+                } else {
+                    1
+                }
+            },
+        );
         assert_eq!(w, 12);
     }
 

@@ -44,10 +44,7 @@ impl fmt::Display for IrError {
                 gate,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "gate {gate} expects {expected} operand(s), got {actual}"
-            ),
+            } => write!(f, "gate {gate} expects {expected} operand(s), got {actual}"),
         }
     }
 }
@@ -111,7 +108,11 @@ impl QasmParseError {
 
 impl fmt::Display for QasmParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

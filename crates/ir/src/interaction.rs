@@ -67,10 +67,7 @@ impl InteractionGraph {
         if a == b {
             return 0;
         }
-        self.edges
-            .get(&(a.min(b), a.max(b)))
-            .copied()
-            .unwrap_or(0)
+        self.edges.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
     }
 
     /// Sum of all edge weights (= the circuit's two-qubit op count).

@@ -36,11 +36,11 @@
 
 pub mod analysis;
 mod circuit;
-pub mod optimize;
 mod dag;
 mod error;
 mod gate;
 mod interaction;
+pub mod optimize;
 mod qasm;
 pub mod sim;
 

@@ -178,10 +178,7 @@ impl StateVector {
                 self.apply_phase_if(|i| i & bit != 0, neg);
             }
             Gate::H => {
-                let m = [
-                    [inv_sqrt2, inv_sqrt2],
-                    [inv_sqrt2, inv_sqrt2 * neg],
-                ];
+                let m = [[inv_sqrt2, inv_sqrt2], [inv_sqrt2, inv_sqrt2 * neg]];
                 self.apply_1q(qs[0], m);
             }
             Gate::S => {

@@ -19,7 +19,11 @@ fn arb_unitary_circuit(max_qubits: u32, max_ops: usize) -> impl Strategy<Value =
         .prop_flat_map(move |n| {
             let gates = unitary.clone();
             let inst = (0usize..gates.len(), 0..n, 0..n.saturating_sub(1).max(1));
-            (Just(n), Just(gates), proptest::collection::vec(inst, 0..max_ops))
+            (
+                Just(n),
+                Just(gates),
+                proptest::collection::vec(inst, 0..max_ops),
+            )
         })
         .prop_map(|(n, gates, raw)| {
             let mut b = Circuit::builder("prop-unitary", n);

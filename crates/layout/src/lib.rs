@@ -109,9 +109,9 @@ impl Layout {
     /// Verifies that every qubit sits on a distinct in-bounds tile.
     pub fn check_invariants(&self) -> bool {
         let mut seen = std::collections::HashSet::new();
-        self.tile_of.iter().all(|&t| {
-            t.x < self.grid_width && t.y < self.grid_height && seen.insert((t.x, t.y))
-        })
+        self.tile_of
+            .iter()
+            .all(|&t| t.x < self.grid_width && t.y < self.grid_height && seen.insert((t.x, t.y)))
     }
 }
 
@@ -261,7 +261,13 @@ fn interaction_aware(graph: &InteractionGraph, w: u32, h: u32) -> Vec<Coord> {
     let pgraph = to_partition_graph(graph);
     let all: Vec<u32> = (0..n).collect();
     let config = PartitionConfig::default();
-    assign_region(&pgraph, &all, Region { x: 0, y: 0, w, h }, &config, &mut tile_of);
+    assign_region(
+        &pgraph,
+        &all,
+        Region { x: 0, y: 0, w, h },
+        &config,
+        &mut tile_of,
+    );
     tile_of
 }
 
@@ -409,7 +415,9 @@ mod tests {
                 b.cnot(PERM[base + 1], PERM[base + 2]);
             }
         }
-        b.cnot(PERM[0], PERM[5]).cnot(PERM[7], PERM[9]).cnot(PERM[11], PERM[14]);
+        b.cnot(PERM[0], PERM[5])
+            .cnot(PERM[7], PERM[9])
+            .cnot(PERM[11], PERM[14]);
         InteractionGraph::from_circuit(&b.finish())
     }
 

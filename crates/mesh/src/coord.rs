@@ -74,6 +74,28 @@ impl Path {
         Path { nodes }
     }
 
+    /// Creates an empty scratch path for the `*_into` routing APIs on
+    /// [`Mesh`](crate::Mesh), which overwrite it with a valid route.
+    ///
+    /// An empty path is a *buffer*, not a route: [`Path::source`] and
+    /// [`Path::dest`] panic on it, and it must not be claimed. It exists
+    /// so hot loops can recycle the backing allocation across routing
+    /// attempts instead of allocating a fresh `Vec` per attempt.
+    pub fn empty() -> Path {
+        Path { nodes: Vec::new() }
+    }
+
+    /// Returns `true` for a scratch path that holds no route yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Mutable access to the backing node storage for the in-crate
+    /// routing writers.
+    pub(crate) fn nodes_mut(&mut self) -> &mut Vec<Coord> {
+        &mut self.nodes
+    }
+
     /// The node sequence.
     pub fn nodes(&self) -> &[Coord] {
         &self.nodes
@@ -89,9 +111,9 @@ impl Path {
         *self.nodes.last().expect("paths are non-empty")
     }
 
-    /// Number of links the path occupies.
+    /// Number of links the path occupies (0 for a scratch path).
     pub fn len_hops(&self) -> usize {
-        self.nodes.len() - 1
+        self.nodes.len().saturating_sub(1)
     }
 
     /// Iterates over the links as `(from, to)` coordinate pairs.
@@ -114,9 +136,22 @@ impl Path {
     }
 }
 
+impl Default for Path {
+    /// An empty scratch path; see [`Path::empty`].
+    fn default() -> Self {
+        Path::empty()
+    }
+}
+
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} ({} hops)", self.source(), self.dest(), self.len_hops())
+        write!(
+            f,
+            "{} -> {} ({} hops)",
+            self.source(),
+            self.dest(),
+            self.len_hops()
+        )
     }
 }
 
@@ -172,6 +207,15 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn rejects_empty() {
         let _ = Path::new(vec![]);
+    }
+
+    #[test]
+    fn empty_scratch_path() {
+        let p = Path::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len_hops(), 0);
+        assert_eq!(p.links().count(), 0);
+        assert!(Path::default().is_empty());
     }
 
     #[test]

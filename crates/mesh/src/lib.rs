@@ -12,6 +12,18 @@
 //! [`Mesh::route_yx`], and congestion-aware [`Mesh::route_adaptive`]
 //! (BFS over currently-free resources).
 //!
+//! # Hot-path APIs
+//!
+//! The braid scheduler's inner loop uses the allocation-free variants:
+//! the fused [`Mesh::claim_route_xy_into`] / [`Mesh::claim_route_yx_into`]
+//! walks check router/link occupancy in place and only materialize a
+//! route (into a caller-provided [`Path`] buffer) when the claim
+//! succeeds — under contention most claims fail, so the failure path
+//! allocates nothing; [`Mesh::route_adaptive_into`] reuses one
+//! [`RouteScratch`] across BFS searches; and [`Mesh::tick_n`] advances
+//! the utilization clock over an idle stretch in one step so an
+//! event-driven scheduler can jump between wake times.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,4 +46,4 @@ mod coord;
 mod mesh;
 
 pub use coord::{Coord, Path};
-pub use mesh::{ClaimId, Mesh};
+pub use mesh::{ClaimId, Mesh, RouteScratch};

@@ -9,6 +9,50 @@ pub type ClaimId = u32;
 
 const FREE: ClaimId = ClaimId::MAX;
 
+/// Reusable buffers for [`Mesh::route_adaptive_into`].
+///
+/// The adaptive BFS needs per-node predecessor and visited arrays plus a
+/// frontier queue; allocating them per call dominates the cost of short
+/// searches. One `RouteScratch` amortizes those allocations across every
+/// adaptive routing attempt of a scheduling run. Visited state is
+/// invalidated by a generation stamp, so reuse never requires clearing
+/// the arrays.
+#[derive(Clone, Debug, Default)]
+pub struct RouteScratch {
+    /// BFS predecessor per node index (valid only when stamped).
+    prev: Vec<u32>,
+    /// Generation stamp per node index; equal to `stamp` means visited.
+    seen: Vec<u64>,
+    /// Current search generation.
+    stamp: u64,
+    /// BFS frontier.
+    queue: VecDeque<Coord>,
+}
+
+impl RouteScratch {
+    /// Creates an empty scratch; buffers grow to the mesh size on first
+    /// use.
+    pub fn new() -> Self {
+        RouteScratch::default()
+    }
+
+    fn begin(&mut self, nodes: usize) {
+        if self.prev.len() < nodes {
+            self.prev.resize(nodes, u32::MAX);
+            self.seen.resize(nodes, 0);
+        }
+        self.stamp += 1;
+        self.queue.clear();
+    }
+}
+
+/// The two dimension orders a deterministic route can walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DimOrder {
+    XThenY,
+    YThenX,
+}
+
 /// A 2D circuit-switched mesh of routers and links.
 ///
 /// This models the braid fabric of the paper's Section 6.1: a braid is a
@@ -137,7 +181,12 @@ impl Mesh {
     /// Panics if the path leaves the mesh.
     pub fn is_path_free(&self, path: &Path, owner: ClaimId) -> bool {
         for &n in path.nodes() {
-            assert!(self.contains(n), "path node {n} outside {}x{} mesh", self.width, self.height);
+            assert!(
+                self.contains(n),
+                "path node {n} outside {}x{} mesh",
+                self.width,
+                self.height
+            );
             let o = self.nodes[self.node_index(n)];
             if o != FREE && o != owner {
                 return false;
@@ -200,24 +249,90 @@ impl Mesh {
         }
     }
 
+    /// Walks the dimension-ordered route `src -> dst`, invoking `f` on
+    /// every node in order. `f` returning `false` aborts the walk; the
+    /// return value reports whether the walk completed.
+    fn walk_dim_ordered(
+        src: Coord,
+        dst: Coord,
+        order: DimOrder,
+        mut f: impl FnMut(Coord) -> bool,
+    ) -> bool {
+        let mut cur = src;
+        if !f(cur) {
+            return false;
+        }
+        let step_x = |cur: &mut Coord| {
+            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        };
+        let step_y = |cur: &mut Coord| {
+            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        };
+        match order {
+            DimOrder::XThenY => {
+                while cur.x != dst.x {
+                    step_x(&mut cur);
+                    if !f(cur) {
+                        return false;
+                    }
+                }
+                while cur.y != dst.y {
+                    step_y(&mut cur);
+                    if !f(cur) {
+                        return false;
+                    }
+                }
+            }
+            DimOrder::YThenX => {
+                while cur.y != dst.y {
+                    step_y(&mut cur);
+                    if !f(cur) {
+                        return false;
+                    }
+                }
+                while cur.x != dst.x {
+                    step_x(&mut cur);
+                    if !f(cur) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn route_dim_ordered_into(&self, src: Coord, dst: Coord, order: DimOrder, out: &mut Path) {
+        assert!(
+            self.contains(src) && self.contains(dst),
+            "endpoints must be on the mesh"
+        );
+        let nodes = out.nodes_mut();
+        nodes.clear();
+        Self::walk_dim_ordered(src, dst, order, |c| {
+            nodes.push(c);
+            true
+        });
+    }
+
     /// Dimension-ordered (X then Y) route between two routers.
     ///
     /// # Panics
     ///
     /// Panics if either endpoint is off the mesh.
     pub fn route_xy(&self, src: Coord, dst: Coord) -> Path {
-        assert!(self.contains(src) && self.contains(dst), "endpoints must be on the mesh");
-        let mut nodes = vec![src];
-        let mut cur = src;
-        while cur.x != dst.x {
-            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
-            nodes.push(cur);
-        }
-        while cur.y != dst.y {
-            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
-            nodes.push(cur);
-        }
-        Path::new(nodes)
+        let mut out = Path::empty();
+        self.route_xy_into(src, dst, &mut out);
+        out
+    }
+
+    /// Like [`Mesh::route_xy`], writing the route into `out` instead of
+    /// allocating — the scratch-buffer variant for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// As [`Mesh::route_xy`].
+    pub fn route_xy_into(&self, src: Coord, dst: Coord, out: &mut Path) {
+        self.route_dim_ordered_into(src, dst, DimOrder::XThenY, out);
     }
 
     /// Dimension-ordered (Y then X) route between two routers.
@@ -226,18 +341,134 @@ impl Mesh {
     ///
     /// Panics if either endpoint is off the mesh.
     pub fn route_yx(&self, src: Coord, dst: Coord) -> Path {
-        assert!(self.contains(src) && self.contains(dst), "endpoints must be on the mesh");
-        let mut nodes = vec![src];
-        let mut cur = src;
-        while cur.y != dst.y {
-            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
-            nodes.push(cur);
+        let mut out = Path::empty();
+        self.route_yx_into(src, dst, &mut out);
+        out
+    }
+
+    /// Like [`Mesh::route_yx`], writing the route into `out` instead of
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// As [`Mesh::route_yx`].
+    pub fn route_yx_into(&self, src: Coord, dst: Coord, out: &mut Path) {
+        self.route_dim_ordered_into(src, dst, DimOrder::YThenX, out);
+    }
+
+    fn claim_route_dim_ordered_into(
+        &mut self,
+        src: Coord,
+        dst: Coord,
+        order: DimOrder,
+        owner: ClaimId,
+        out: &mut Path,
+    ) -> bool {
+        assert!(
+            self.contains(src) && self.contains(dst),
+            "endpoints must be on the mesh"
+        );
+        assert_ne!(owner, FREE, "ClaimId::MAX is reserved");
+        // Pass 1: availability check in place, touching nothing.
+        let mut last: Option<Coord> = None;
+        let free = Self::walk_dim_ordered(src, dst, order, |c| {
+            let node_owner = self.nodes[self.node_index(c)];
+            if node_owner != FREE && node_owner != owner {
+                return false;
+            }
+            if let Some(prev) = last {
+                let link_owner = self.link_owner(prev, c);
+                if link_owner != FREE && link_owner != owner {
+                    return false;
+                }
+            }
+            last = Some(c);
+            true
+        });
+        if !free {
+            return false;
         }
-        while cur.x != dst.x {
-            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
-            nodes.push(cur);
-        }
-        Path::new(nodes)
+        // Pass 2: claim every resource and materialize the path.
+        let nodes_out = out.nodes_mut();
+        nodes_out.clear();
+        let mut last: Option<Coord> = None;
+        Self::walk_dim_ordered(src, dst, order, |c| {
+            let i = self.node_index(c);
+            self.nodes[i] = owner;
+            if let Some(prev) = last {
+                let slot = self.link_slot(prev, c);
+                if *slot == FREE {
+                    *slot = owner;
+                    self.busy_links += 1;
+                }
+            }
+            nodes_out.push(c);
+            last = Some(c);
+            true
+        });
+        true
+    }
+
+    /// Fused route-and-claim along the dimension-ordered X-then-Y walk:
+    /// checks every router and link of the route in place and claims the
+    /// whole route atomically, writing it into `out`, without ever
+    /// materializing a rejected route.
+    ///
+    /// Exactly equivalent to `route_xy` followed by [`Mesh::try_claim`],
+    /// but allocation-free on the (common, under contention) failure
+    /// path. Returns `false` and claims nothing if any resource is held
+    /// by a different owner; `out` is unspecified in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is off the mesh or `owner` is the
+    /// reserved sentinel `ClaimId::MAX`.
+    pub fn claim_route_xy_into(
+        &mut self,
+        src: Coord,
+        dst: Coord,
+        owner: ClaimId,
+        out: &mut Path,
+    ) -> bool {
+        self.claim_route_dim_ordered_into(src, dst, DimOrder::XThenY, owner, out)
+    }
+
+    /// Allocating convenience wrapper over [`Mesh::claim_route_xy_into`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Mesh::claim_route_xy_into`].
+    pub fn claim_route_xy(&mut self, src: Coord, dst: Coord, owner: ClaimId) -> Option<Path> {
+        let mut out = Path::empty();
+        self.claim_route_xy_into(src, dst, owner, &mut out)
+            .then_some(out)
+    }
+
+    /// Fused route-and-claim along the Y-then-X walk; see
+    /// [`Mesh::claim_route_xy_into`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Mesh::claim_route_xy_into`].
+    pub fn claim_route_yx_into(
+        &mut self,
+        src: Coord,
+        dst: Coord,
+        owner: ClaimId,
+        out: &mut Path,
+    ) -> bool {
+        self.claim_route_dim_ordered_into(src, dst, DimOrder::YThenX, owner, out)
+    }
+
+    /// Allocating convenience wrapper over [`Mesh::claim_route_yx_into`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Mesh::claim_route_yx_into`].
+    pub fn claim_route_yx(&mut self, src: Coord, dst: Coord, owner: ClaimId) -> Option<Path> {
+        let mut out = Path::empty();
+        self.claim_route_yx_into(src, dst, owner, &mut out)
+            .then_some(out)
     }
 
     /// Shortest route from `src` to `dst` using only currently-free
@@ -252,64 +483,84 @@ impl Mesh {
     ///
     /// Panics if either endpoint is off the mesh.
     pub fn route_adaptive(&self, src: Coord, dst: Coord, owner: ClaimId) -> Option<Path> {
-        assert!(self.contains(src) && self.contains(dst), "endpoints must be on the mesh");
+        let mut scratch = RouteScratch::new();
+        let mut out = Path::empty();
+        self.route_adaptive_into(src, dst, owner, &mut scratch, &mut out)
+            .then_some(out)
+    }
+
+    /// Like [`Mesh::route_adaptive`], reusing the caller's BFS buffers
+    /// and writing the route into `out` — the allocation-free variant
+    /// for hot scheduling loops. Returns `false` (leaving `out`
+    /// unspecified) when no free corridor exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is off the mesh.
+    pub fn route_adaptive_into(
+        &self,
+        src: Coord,
+        dst: Coord,
+        owner: ClaimId,
+        scratch: &mut RouteScratch,
+        out: &mut Path,
+    ) -> bool {
+        assert!(
+            self.contains(src) && self.contains(dst),
+            "endpoints must be on the mesh"
+        );
         let free_node = |c: Coord| {
             let o = self.nodes[self.node_index(c)];
             o == FREE || o == owner
         };
         if !free_node(src) || !free_node(dst) {
-            return None;
+            return false;
         }
         // BFS over free links/nodes; deterministic neighbor order
         // (east, west, south, north) keeps results reproducible.
         let n = (self.width * self.height) as usize;
-        let mut prev: Vec<Option<Coord>> = vec![None; n];
-        let mut seen = vec![false; n];
-        let mut queue = VecDeque::new();
-        seen[self.node_index(src)] = true;
-        queue.push_back(src);
-        'bfs: while let Some(cur) = queue.pop_front() {
-            let mut neighbors = Vec::with_capacity(4);
-            if cur.x + 1 < self.width {
-                neighbors.push(Coord::new(cur.x + 1, cur.y));
-            }
-            if cur.x > 0 {
-                neighbors.push(Coord::new(cur.x - 1, cur.y));
-            }
-            if cur.y + 1 < self.height {
-                neighbors.push(Coord::new(cur.x, cur.y + 1));
-            }
-            if cur.y > 0 {
-                neighbors.push(Coord::new(cur.x, cur.y - 1));
-            }
-            for next in neighbors {
+        scratch.begin(n);
+        let stamp = scratch.stamp;
+        scratch.seen[self.node_index(src)] = stamp;
+        scratch.queue.push_back(src);
+        'bfs: while let Some(cur) = scratch.queue.pop_front() {
+            let neighbors = [
+                (cur.x + 1 < self.width).then(|| Coord::new(cur.x + 1, cur.y)),
+                (cur.x > 0).then(|| Coord::new(cur.x - 1, cur.y)),
+                (cur.y + 1 < self.height).then(|| Coord::new(cur.x, cur.y + 1)),
+                (cur.y > 0).then(|| Coord::new(cur.x, cur.y - 1)),
+            ];
+            for next in neighbors.into_iter().flatten() {
                 let i = self.node_index(next);
-                if seen[i] || !free_node(next) {
+                if scratch.seen[i] == stamp || !free_node(next) {
                     continue;
                 }
                 let link_owner = self.link_owner(cur, next);
                 if link_owner != FREE && link_owner != owner {
                     continue;
                 }
-                seen[i] = true;
-                prev[i] = Some(cur);
+                scratch.seen[i] = stamp;
+                scratch.prev[i] = self.node_index(cur) as u32;
                 if next == dst {
                     break 'bfs;
                 }
-                queue.push_back(next);
+                scratch.queue.push_back(next);
             }
         }
-        if !seen[self.node_index(dst)] {
-            return None;
+        if scratch.seen[self.node_index(dst)] != stamp {
+            return false;
         }
-        let mut nodes = vec![dst];
+        let nodes = out.nodes_mut();
+        nodes.clear();
+        nodes.push(dst);
         let mut cur = dst;
         while cur != src {
-            cur = prev[self.node_index(cur)].expect("bfs predecessor chain");
+            let p = scratch.prev[self.node_index(cur)];
+            cur = Coord::new(p % self.width, p / self.width);
             nodes.push(cur);
         }
         nodes.reverse();
-        Some(Path::new(nodes))
+        true
     }
 
     /// Advances the utilization clock by one cycle, accumulating the
@@ -317,6 +568,16 @@ impl Mesh {
     pub fn tick(&mut self) {
         self.busy_link_cycles += self.busy_links as u64;
         self.ticks += 1;
+    }
+
+    /// Advances the utilization clock by `k` cycles in one step —
+    /// equivalent to calling [`Mesh::tick`] `k` times while no claims or
+    /// releases happen in between. This is what lets an event-driven
+    /// scheduler jump straight to the next wake time instead of spinning
+    /// one cycle at a time.
+    pub fn tick_n(&mut self, k: u64) {
+        self.busy_link_cycles += self.busy_links as u64 * k;
+        self.ticks += k;
     }
 
     /// Average fraction of busy links over all ticked cycles — the
@@ -407,7 +668,10 @@ mod tests {
         let p = m
             .route_adaptive(Coord::new(1, 1), Coord::new(4, 3), 1)
             .unwrap();
-        assert_eq!(p.len_hops() as u32, Coord::new(1, 1).manhattan(Coord::new(4, 3)));
+        assert_eq!(
+            p.len_hops() as u32,
+            Coord::new(1, 1).manhattan(Coord::new(4, 3))
+        );
     }
 
     #[test]
@@ -481,5 +745,146 @@ mod tests {
     #[should_panic(expected = "dimensions must be positive")]
     fn zero_size_mesh_rejected() {
         let _ = Mesh::new(0, 3);
+    }
+
+    #[test]
+    fn claim_route_matches_route_then_claim() {
+        // Exhaustively compare the fused walk against the two-step
+        // route+claim on a congested mesh, for both dimension orders.
+        let mut reference = Mesh::new(6, 6);
+        let mut fused = Mesh::new(6, 6);
+        let wall = reference.route_xy(Coord::new(2, 1), Coord::new(2, 4));
+        assert!(reference.try_claim(&wall, 99));
+        assert!(fused.try_claim(&wall, 99));
+        let mut out = Path::empty();
+        for sx in 0..6u32 {
+            for sy in 0..6u32 {
+                for dx in 0..6u32 {
+                    let (src, dst) = (Coord::new(sx, sy), Coord::new(dx, (sx + dx) % 6));
+                    let owner = sx * 36 + sy * 6 + dx + 1000;
+                    // X-then-Y.
+                    let p = reference.route_xy(src, dst);
+                    let expect = reference.try_claim(&p, owner);
+                    let got = fused.claim_route_xy_into(src, dst, owner, &mut out);
+                    assert_eq!(got, expect, "xy {src}->{dst}");
+                    if expect {
+                        assert_eq!(out.nodes(), p.nodes());
+                        reference.release(&p, owner);
+                        fused.release(&out, owner);
+                    }
+                    // Y-then-X.
+                    let p = reference.route_yx(src, dst);
+                    let expect = reference.try_claim(&p, owner);
+                    let got = fused.claim_route_yx_into(src, dst, owner, &mut out);
+                    assert_eq!(got, expect, "yx {src}->{dst}");
+                    if expect {
+                        assert_eq!(out.nodes(), p.nodes());
+                        reference.release(&p, owner);
+                        fused.release(&out, owner);
+                    }
+                    assert_eq!(reference.busy_links(), fused.busy_links());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn claim_route_failure_claims_nothing() {
+        let mut m = Mesh::new(5, 5);
+        let wall = m.route_xy(Coord::new(2, 0), Coord::new(2, 4));
+        assert!(m.try_claim(&wall, 1));
+        let busy = m.busy_links();
+        let mut out = Path::empty();
+        assert!(!m.claim_route_xy_into(Coord::new(0, 2), Coord::new(4, 2), 2, &mut out));
+        assert_eq!(m.busy_links(), busy);
+        // The wall itself is untouched and still releasable.
+        m.release(&wall, 1);
+        assert_eq!(m.busy_links(), 0);
+    }
+
+    #[test]
+    fn claim_route_convenience_wrappers() {
+        let mut m = Mesh::new(4, 4);
+        let p = m
+            .claim_route_xy(Coord::new(0, 0), Coord::new(3, 2), 7)
+            .expect("free mesh");
+        assert_eq!(p.len_hops(), 5);
+        assert!(m
+            .claim_route_yx(Coord::new(0, 1), Coord::new(3, 1), 8)
+            .is_none());
+        m.release(&p, 7);
+        assert!(m
+            .claim_route_yx(Coord::new(0, 1), Coord::new(3, 1), 8)
+            .is_some());
+    }
+
+    #[test]
+    fn route_into_variants_match_allocating_routes() {
+        let m = Mesh::new(7, 5);
+        let mut out = Path::empty();
+        for (src, dst) in [
+            (Coord::new(0, 0), Coord::new(6, 4)),
+            (Coord::new(3, 3), Coord::new(3, 3)),
+            (Coord::new(6, 0), Coord::new(0, 4)),
+        ] {
+            m.route_xy_into(src, dst, &mut out);
+            assert_eq!(out.nodes(), m.route_xy(src, dst).nodes());
+            m.route_yx_into(src, dst, &mut out);
+            assert_eq!(out.nodes(), m.route_yx(src, dst).nodes());
+        }
+    }
+
+    #[test]
+    fn adaptive_into_reuses_scratch_across_searches() {
+        let mut m = Mesh::new(8, 8);
+        let wall = m.route_xy(Coord::new(3, 2), Coord::new(3, 5));
+        assert!(m.try_claim(&wall, 50));
+        let mut scratch = RouteScratch::new();
+        let mut out = Path::empty();
+        for trial in 0..10u32 {
+            let src = Coord::new(0, trial % 8);
+            let dst = Coord::new(7, (trial * 3) % 8);
+            let expected = m.route_adaptive(src, dst, 1);
+            let got = m.route_adaptive_into(src, dst, 1, &mut scratch, &mut out);
+            match expected {
+                Some(p) => {
+                    assert!(got);
+                    assert_eq!(out.nodes(), p.nodes(), "trial {trial}");
+                }
+                None => assert!(!got),
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_into_blocked_endpoint_fails() {
+        let mut m = Mesh::new(4, 4);
+        assert!(m.try_claim(&Path::new(vec![Coord::new(0, 0)]), 9));
+        let mut scratch = RouteScratch::new();
+        let mut out = Path::empty();
+        assert!(!m.route_adaptive_into(
+            Coord::new(0, 0),
+            Coord::new(3, 3),
+            1,
+            &mut scratch,
+            &mut out
+        ));
+    }
+
+    #[test]
+    fn tick_n_matches_repeated_tick() {
+        let mut a = Mesh::new(4, 4);
+        let mut b = Mesh::new(4, 4);
+        let p = a.route_xy(Coord::new(0, 0), Coord::new(3, 0));
+        assert!(a.try_claim(&p, 1));
+        assert!(b.try_claim(&p, 1));
+        for _ in 0..17 {
+            a.tick();
+        }
+        b.tick_n(17);
+        assert_eq!(a.ticks(), b.ticks());
+        assert!((a.utilization() - b.utilization()).abs() < f64::EPSILON);
+        b.tick_n(0);
+        assert_eq!(b.ticks(), 17);
     }
 }

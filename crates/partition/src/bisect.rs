@@ -308,9 +308,8 @@ fn fm_refine(graph: &Graph, assignment: &mut [u8], config: &PartitionConfig) {
             gain[v as usize] = g;
         }
 
-        let mut heap: BinaryHeap<(i64, u32)> = (0..n as u32)
-            .map(|v| (gain[v as usize], v))
-            .collect();
+        let mut heap: BinaryHeap<(i64, u32)> =
+            (0..n as u32).map(|v| (gain[v as usize], v)).collect();
         let mut locked = vec![false; n];
         let mut cur_cut = cut_weight(graph, assignment) as i64;
         let mut best_cut = cur_cut;
@@ -444,7 +443,10 @@ mod tests {
     #[test]
     fn handles_trivial_graphs() {
         let empty = Graph::from_edges(0, &[]).unwrap();
-        assert_eq!(bisect(&empty, &PartitionConfig::default()).assignment.len(), 0);
+        assert_eq!(
+            bisect(&empty, &PartitionConfig::default()).assignment.len(),
+            0
+        );
 
         let single = Graph::from_edges(1, &[]).unwrap();
         let b = bisect(&single, &PartitionConfig::default());
@@ -462,7 +464,14 @@ mod tests {
         // Two disjoint triangles: cut 0 is achievable.
         let g = Graph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
         )
         .unwrap();
         let b = bisect(&g, &PartitionConfig::default());

@@ -84,10 +84,7 @@ impl Graph {
     ///
     /// Returns [`GraphError`] on out-of-range endpoints, self-loops, or
     /// zero-weight edges.
-    pub fn from_edges(
-        num_vertices: u32,
-        edges: &[(u32, u32, u64)],
-    ) -> Result<Self, GraphError> {
+    pub fn from_edges(num_vertices: u32, edges: &[(u32, u32, u64)]) -> Result<Self, GraphError> {
         Self::from_edges_weighted(num_vertices, edges, &vec![1; num_vertices as usize])
     }
 
@@ -268,8 +265,7 @@ mod tests {
         let g = square_with_chord();
         for v in 0..4u32 {
             for (u, w) in g.neighbors(v) {
-                let back: Vec<(u32, u64)> =
-                    g.neighbors(u).filter(|&(x, _)| x == v).collect();
+                let back: Vec<(u32, u64)> = g.neighbors(u).filter(|&(x, _)| x == v).collect();
                 assert_eq!(back, vec![(v, w)]);
             }
         }

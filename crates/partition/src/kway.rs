@@ -125,7 +125,14 @@ fn recurse(
         }
     }
     recurse(graph, &left, first_part, k_left, config, assignment);
-    recurse(graph, &right, first_part + k_left, k_right, config, assignment);
+    recurse(
+        graph,
+        &right,
+        first_part + k_left,
+        k_right,
+        config,
+        assignment,
+    );
 }
 
 #[cfg(test)]

@@ -16,8 +16,7 @@ fn arb_graph(max_n: u32, max_extra_edges: usize) -> impl Strategy<Value = Graph>
         })
         .prop_map(|(n, extra)| {
             // A spine path guarantees no isolated vertices dominate.
-            let mut edges: Vec<(u32, u32, u64)> =
-                (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+            let mut edges: Vec<(u32, u32, u64)> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
             for (a, off, w) in extra {
                 let b = (a + 1 + off) % n;
                 if a != b {

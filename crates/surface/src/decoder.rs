@@ -87,10 +87,7 @@ pub fn match_syndromes(points: &[SyndromePoint]) -> Matching {
             matching.pairs.push((points[i], points[j]));
         }
     }
-    matching.boundary = used
-        .iter()
-        .position(|&u| !u)
-        .map(|i| points[i]);
+    matching.boundary = used.iter().position(|&u| !u).map(|i| points[i]);
     matching
 }
 

@@ -68,8 +68,7 @@ impl FactoryConfig {
         } else {
             (budget, 0)
         };
-        let magic_factories =
-            (magic_budget / u64::from(self.magic_factory_tiles)).max(1) as u32;
+        let magic_factories = (magic_budget / u64::from(self.magic_factory_tiles)).max(1) as u32;
         let epr_factories = if with_epr {
             (epr_budget / u64::from(self.epr_factory_tiles)).max(1) as u32
         } else {

@@ -38,9 +38,9 @@
 
 mod comm;
 pub mod decoder;
-pub mod surgery;
 mod distance;
 mod factory;
+pub mod surgery;
 mod technology;
 mod tile;
 

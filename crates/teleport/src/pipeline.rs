@@ -141,9 +141,7 @@ pub fn simulate_epr_distribution(
         // Window constraint: demand j may not launch before demand
         // j - window has been consumed.
         let window_gate = match policy {
-            DistributionPolicy::JustInTime { window } if j >= window => {
-                consume_times[j - window]
-            }
+            DistributionPolicy::JustInTime { window } if j >= window => consume_times[j - window],
             _ => 0,
         };
         // Bandwidth constraint: wait for a free swap lane.
@@ -236,7 +234,11 @@ mod tests {
 
     #[test]
     fn empty_trace() {
-        let r = simulate_epr_distribution(&[], DistributionPolicy::EagerPrefetch, &EprConfig::default());
+        let r = simulate_epr_distribution(
+            &[],
+            DistributionPolicy::EagerPrefetch,
+            &EprConfig::default(),
+        );
         assert_eq!(r.makespan, 0);
         assert_eq!(r.peak_live_eprs, 0);
         assert_eq!(r.latency_overhead(), 0.0);
@@ -286,7 +288,11 @@ mod tests {
         );
         let savings = eager.peak_live_eprs as f64 / jit.peak_live_eprs as f64;
         assert!(savings > 10.0, "savings only {savings:.1}x");
-        assert!(jit.latency_overhead() < 0.05, "overhead {:.2}%", jit.latency_overhead() * 100.0);
+        assert!(
+            jit.latency_overhead() < 0.05,
+            "overhead {:.2}%",
+            jit.latency_overhead() * 100.0
+        );
     }
 
     #[test]
@@ -306,8 +312,12 @@ mod tests {
     #[test]
     fn bandwidth_limits_throughput() {
         // 100 simultaneous demands, bandwidth 4: launches serialize.
-        let demands: Vec<EprDemand> =
-            (0..100).map(|_| EprDemand { time: 10, distance: 8 }).collect();
+        let demands: Vec<EprDemand> = (0..100)
+            .map(|_| EprDemand {
+                time: 10,
+                distance: 8,
+            })
+            .collect();
         let tight = simulate_epr_distribution(
             &demands,
             DistributionPolicy::JustInTime { window: 1000 },
@@ -347,8 +357,14 @@ mod tests {
     #[should_panic(expected = "sorted by time")]
     fn unsorted_demands_rejected() {
         let demands = vec![
-            EprDemand { time: 5, distance: 1 },
-            EprDemand { time: 2, distance: 1 },
+            EprDemand {
+                time: 5,
+                distance: 1,
+            },
+            EprDemand {
+                time: 2,
+                distance: 1,
+            },
         ];
         let _ = simulate_epr_distribution(
             &demands,

@@ -101,7 +101,10 @@ pub fn schedule_simd(circuit: &Circuit, dag: &DependencyDag, config: &SimdConfig
         // Group ready ops by gate type; assign up to `regions` types.
         let mut by_gate: BTreeMap<Gate, Vec<usize>> = BTreeMap::new();
         for &op in &ready {
-            by_gate.entry(circuit.instructions()[op].gate()).or_default().push(op);
+            by_gate
+                .entry(circuit.instructions()[op].gate())
+                .or_default()
+                .push(op);
         }
         // Largest groups first: broadcast amortizes best over big groups.
         let mut groups: Vec<(Gate, Vec<usize>)> = by_gate.into_iter().collect();
@@ -192,9 +195,21 @@ mod tests {
         let mut b = Circuit::builder("types", 4);
         b.h(0).x(1).s(2).z(3);
         let c = b.finish();
-        let one = schedule(&c, &SimdConfig { regions: 1, locality_aware: true });
+        let one = schedule(
+            &c,
+            &SimdConfig {
+                regions: 1,
+                locality_aware: true,
+            },
+        );
         assert_eq!(one.timesteps, 4);
-        let four = schedule(&c, &SimdConfig { regions: 4, locality_aware: true });
+        let four = schedule(
+            &c,
+            &SimdConfig {
+                regions: 4,
+                locality_aware: true,
+            },
+        );
         assert_eq!(four.timesteps, 1);
     }
 
@@ -214,9 +229,26 @@ mod tests {
             b.cnot(0, 1);
         }
         let c = b.finish();
-        let local = schedule(&c, &SimdConfig { regions: 2, locality_aware: true });
-        let naive = schedule(&c, &SimdConfig { regions: 2, locality_aware: false });
-        assert!(local.teleports < naive.teleports, "{} !< {}", local.teleports, naive.teleports);
+        let local = schedule(
+            &c,
+            &SimdConfig {
+                regions: 2,
+                locality_aware: true,
+            },
+        );
+        let naive = schedule(
+            &c,
+            &SimdConfig {
+                regions: 2,
+                locality_aware: false,
+            },
+        );
+        assert!(
+            local.teleports < naive.teleports,
+            "{} !< {}",
+            local.teleports,
+            naive.teleports
+        );
         // Naive pays two teleports per op, every op.
         assert_eq!(naive.teleports, 20);
         assert_eq!(local.teleports, 2);
@@ -252,6 +284,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one SIMD region")]
     fn zero_regions_rejected() {
-        let _ = schedule(&wide_h_layer(2), &SimdConfig { regions: 0, locality_aware: true });
+        let _ = schedule(
+            &wide_h_layer(2),
+            &SimdConfig {
+                regions: 0,
+                locality_aware: true,
+            },
+        );
     }
 }

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 use scq_ir::{Circuit, DependencyDag, Gate};
 use scq_teleport::{
-    schedule_simd, simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand,
-    SimdConfig,
+    schedule_simd, simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand, SimdConfig,
 };
 
 fn arb_circuit() -> impl Strategy<Value = Circuit> {

@@ -10,8 +10,7 @@
 use scq::apps::{sha1, Sha1Params};
 use scq::ir::DependencyDag;
 use scq::teleport::{
-    schedule_simd, simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand,
-    SimdConfig,
+    schedule_simd, simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand, SimdConfig,
 };
 
 fn main() {
@@ -24,7 +23,10 @@ fn main() {
     let demands: Vec<EprDemand> = simd
         .teleport_times
         .iter()
-        .map(|&t| EprDemand { time: t, distance: 8 })
+        .map(|&t| EprDemand {
+            time: t,
+            distance: 8,
+        })
         .collect();
     let config = EprConfig::default();
 
@@ -44,11 +46,8 @@ fn main() {
 
     println!("\nwindow    peak live EPRs    qubit savings    latency overhead");
     for window in [1usize, 4, 16, 64, 128, 256, 512, 1024] {
-        let jit = simulate_epr_distribution(
-            &demands,
-            DistributionPolicy::JustInTime { window },
-            &config,
-        );
+        let jit =
+            simulate_epr_distribution(&demands, DistributionPolicy::JustInTime { window }, &config);
         println!(
             "{window:>6}    {:>14}    {:>12.1}x    {:>15.2}%",
             jit.peak_live_eprs,

@@ -55,7 +55,10 @@ fn main() {
         println!();
     }
     println!("\n      {}", "^".repeat(rates.len()));
-    println!("      pP = 1e-8 {} 1e-3", " ".repeat(rates.len().saturating_sub(16)));
+    println!(
+        "      pP = 1e-8 {} 1e-3",
+        " ".repeat(rates.len().saturating_sub(16))
+    );
     println!("\nThe P region under the boundary is where the paper recommends the");
     println!("planar encoding; it grows as device error rates improve (leftward).");
 }

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`]
+//! — with a simple wall-clock measurement loop (warm-up, then timed
+//! batches, reporting min/mean per-iteration time). No statistics
+//! engine, plots, or baselines; good enough for relative comparisons in
+//! a hermetic environment.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (API compatibility only).
+#[derive(Clone, Copy, Debug, Default)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    #[default]
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total measured time across iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+    /// Target measured iterations per run.
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.target_iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.target_iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.target_iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = self.target_iters;
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    /// Target measured iterations per benchmark.
+    target_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let target_iters = std::env::var("CRITERION_SHIM_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { target_iters }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            target_iters: self.target_iters,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
+        };
+        println!("{name:<44} {per_iter:>12.2?}/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion { target_iters: 3 };
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        // 2 warm-up + 3 measured.
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion { target_iters: 4 };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -49,9 +49,7 @@ fn with_circuit(
     file_arg: usize,
     run: fn(&Circuit, &[String]) -> CliResult,
 ) -> CliResult {
-    let path = args
-        .get(file_arg)
-        .ok_or("missing <file.qasm> argument")?;
+    let path = args.get(file_arg).ok_or("missing <file.qasm> argument")?;
     let text = std::fs::read_to_string(path)?;
     let circuit = circuit_from_qasm(&text)?;
     run(&circuit, &args[file_arg + 1..])
@@ -117,11 +115,18 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
     let (braid, trace) = schedule_traced(circuit, &dag, &layout, &config)?;
     trace.validate()?;
     println!("double-defect ({policy}, d={code_distance}): {braid}");
-    println!("  static replay: conflict-free ({} braid legs)", trace.events.len());
-    let planar = schedule_planar(circuit, &dag, &PlanarConfig {
-        code_distance,
-        ..Default::default()
-    });
+    println!(
+        "  static replay: conflict-free ({} braid legs)",
+        trace.events.len()
+    );
+    let planar = schedule_planar(
+        circuit,
+        &dag,
+        &PlanarConfig {
+            code_distance,
+            ..Default::default()
+        },
+    );
     println!(
         "planar (Multi-SIMD): {} cycles, {} teleports, peak {} live EPR pairs",
         planar.cycles,
@@ -147,7 +152,11 @@ fn cmd_compare(circuit: &Circuit, rest: &[String]) -> CliResult {
     println!("  {planar}");
     println!("  {dd}");
     let ratio = dd.space_time() / planar.space_time();
-    let verdict = if ratio > 1.0 { "planar" } else { "double-defect" };
+    let verdict = if ratio > 1.0 {
+        "planar"
+    } else {
+        "double-defect"
+    };
     println!("  space-time ratio (dd/planar): {ratio:.2} -> use {verdict} encoding");
     Ok(())
 }

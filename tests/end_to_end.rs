@@ -10,8 +10,7 @@ use scq::surface::{Encoding, Technology};
 fn toolflow_runs_every_benchmark() {
     let config = ToolflowConfig::default();
     for bench in Benchmark::ALL {
-        let report = run_toolflow(bench, &config)
-            .unwrap_or_else(|e| panic!("{bench} failed: {e}"));
+        let report = run_toolflow(bench, &config).unwrap_or_else(|e| panic!("{bench} failed: {e}"));
         // Schedules are bounded below by their dependency structure.
         assert!(
             report.braid.cycles >= report.braid.critical_path_cycles,

@@ -9,8 +9,7 @@ use scq::ir::{analysis, DependencyDag, InteractionGraph};
 use scq::layout::place;
 use scq::surface::{CommMethod, CostLevel, Encoding};
 use scq::teleport::{
-    schedule_simd, simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand,
-    SimdConfig,
+    schedule_simd, simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand, SimdConfig,
 };
 
 /// Table 1: the communication tradeoff matrix, verbatim.
@@ -79,7 +78,10 @@ fn fig6_policies_fix_parallel_apps() {
         p6 < p0 / 2.0,
         "policy 6 ({p6:.2}) should at least halve policy 0 ({p0:.2})"
     );
-    assert!(p6 < 4.0, "policy 6 should approach the critical path: {p6:.2}");
+    assert!(
+        p6 < 4.0,
+        "policy 6 should approach the critical path: {p6:.2}"
+    );
 }
 
 /// Figure 6, serial applications: already near the critical path under
@@ -176,7 +178,10 @@ fn epr_pipelining_tradeoff() {
     let demands: Vec<EprDemand> = simd
         .teleport_times
         .iter()
-        .map(|&t| EprDemand { time: t, distance: 6 })
+        .map(|&t| EprDemand {
+            time: t,
+            distance: 6,
+        })
         .collect();
     assert!(demands.len() > 500, "need a real demand trace");
     let config = EprConfig::default();

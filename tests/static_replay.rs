@@ -72,5 +72,8 @@ fn congestion_heatmap_renders_for_real_workloads() {
         2 * trace.mesh_height - 1,
         "router rows + link rows"
     );
-    assert!(trace.peak_concurrent_braids() > 1, "IM should braid in parallel");
+    assert!(
+        trace.peak_concurrent_braids() > 1,
+        "IM should braid in parallel"
+    );
 }
