@@ -192,6 +192,71 @@ fn bench_epr_pipeline(c: &mut Criterion) {
     });
 }
 
+/// Fabric inject + event-driven advance throughput as the in-flight
+/// population grows: the packet layer's hot loop is the event heap and
+/// the per-link load/waiter bookkeeping.
+fn bench_fabric_throughput(c: &mut Criterion) {
+    use scq_mesh::{Coord, Fabric, FabricConfig, Topology};
+    let topo = Topology::new(32, 32);
+    for &msgs in &[256usize, 2_048, 16_384] {
+        let routes: Vec<_> = (0..msgs)
+            .map(|i| {
+                let y = (i as u32) % 32;
+                topo.route_xy(Coord::new(0, y), Coord::new(31, (y + 7) % 32))
+            })
+            .collect();
+        c.bench_function(&format!("fabric/inject-run-{msgs}"), |b| {
+            b.iter_batched(
+                || routes.clone(),
+                |routes| {
+                    let mut f = Fabric::new(
+                        topo,
+                        FabricConfig {
+                            hop_cycles: 1,
+                            link_capacity: 4,
+                        },
+                    );
+                    for (i, route) in routes.into_iter().enumerate() {
+                        f.inject(route, (i / 8) as u64);
+                    }
+                    f.run_to_completion();
+                    f.stats().delivered
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+/// CommBackend dynamic dispatch vs calling the engines directly: the
+/// trait unification must cost nothing measurable against a real
+/// scheduling run.
+fn bench_backend_dispatch(c: &mut Criterion) {
+    use scq_core::{CommBackend, TeleportBackend};
+    use scq_teleport::{schedule_planar, PlanarConfig};
+    let circuit = ising(&IsingParams {
+        spins: 32,
+        trotter_steps: 2,
+        ..Default::default()
+    });
+    let dag = DependencyDag::from_circuit(&circuit);
+    let config = PlanarConfig {
+        code_distance: 3,
+        ..Default::default()
+    };
+    c.bench_function("backend/teleport-direct", |b| {
+        b.iter(|| schedule_planar(std::hint::black_box(&circuit), &dag, &config))
+    });
+    let backend: Box<dyn CommBackend> = Box::new(TeleportBackend::new(config));
+    c.bench_function("backend/teleport-dyn-dispatch", |b| {
+        b.iter(|| {
+            backend
+                .schedule(std::hint::black_box(&circuit), &dag)
+                .unwrap()
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_dag_construction,
@@ -201,6 +266,8 @@ criterion_group!(
     bench_claim_route,
     bench_ready_sets_vs_rescan,
     bench_traced_vs_untraced,
-    bench_epr_pipeline
+    bench_epr_pipeline,
+    bench_fabric_throughput,
+    bench_backend_dispatch
 );
 criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Bench-regression guard: reads a regenerated `BENCH_sched.json` and
+//! fails (non-zero exit) when the scheduler's geomean speedup over the
+//! naive reference drops below a committed floor.
+//!
+//! ```text
+//! bench_guard [BENCH_sched.json] [floor]
+//! ```
+//!
+//! The floor is deliberately far below the measured trajectory
+//! (geomean ~8x on a quiet machine) so only a real regression — not CI
+//! timing noise — trips it. CI runs this right after `perf_report`
+//! regenerates the file.
+
+use std::process::ExitCode;
+
+/// Default floor on the geomean speedup (measured ~8x; a drop to 3x
+/// means the event-driven engine lost most of its edge).
+const DEFAULT_FLOOR: f64 = 3.0;
+
+/// Extracts a top-level numeric field from a flat JSON report without
+/// a JSON parser (the report format is ours and stable).
+fn parse_field(json: &str, key: &str) -> Option<f64> {
+    let idx = json.find(&format!("\"{key}\""))?;
+    let rest = &json[idx..];
+    let tail = rest[rest.find(':')? + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| "BENCH_sched.json".into());
+    let floor: f64 = match args.next() {
+        Some(s) => match s.parse() {
+            Ok(f) => f,
+            Err(_) => {
+                eprintln!("bench_guard: floor `{s}` is not a number");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_FLOOR,
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(geomean) = parse_field(&text, "geomean_speedup") else {
+        eprintln!("bench_guard: no geomean_speedup field in {path}");
+        return ExitCode::from(2);
+    };
+    if geomean < floor {
+        eprintln!(
+            "bench_guard: FAIL — geomean scheduler speedup {geomean:.2}x fell below the \
+             committed floor {floor:.2}x (see {path})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_guard: ok — geomean scheduler speedup {geomean:.2}x >= floor {floor:.2}x");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_field;
+
+    #[test]
+    fn parses_floats_ints_and_scientific() {
+        let json = "{\n  \"geomean_speedup\": 8.05,\n  \"n\": 28,\n  \"sci\": 1.2e-3\n}";
+        assert_eq!(parse_field(json, "geomean_speedup"), Some(8.05));
+        assert_eq!(parse_field(json, "n"), Some(28.0));
+        assert_eq!(parse_field(json, "sci"), Some(1.2e-3));
+        assert_eq!(parse_field(json, "missing"), None);
+    }
+
+    #[test]
+    fn parses_field_followed_by_comma_or_brace() {
+        assert_eq!(parse_field("{\"x\": 4.5,", "x"), Some(4.5));
+        assert_eq!(parse_field("{\"x\": 4.5}", "x"), Some(4.5));
+        assert_eq!(parse_field("{\"x\": 4.5\n}", "x"), Some(4.5));
+    }
+}

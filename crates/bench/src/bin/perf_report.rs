@@ -1,19 +1,30 @@
 //! Scheduler performance trajectory: times the event-driven engine
 //! against the retained naive-stepping reference on the full Figure 6
-//! (workload × policy) grid and writes `BENCH_sched.json`.
+//! (workload × policy) grid and writes `BENCH_sched.json`, then does
+//! the same for the EPR side — route-aware fabric vs legacy flow model
+//! — and writes `BENCH_epr.json`.
 //!
-//! Every point asserts bit-identical schedules before timing counts, so
-//! the reported speedup is for *the same answer*. Fast-engine points are
-//! measured sequentially (stable wall-clocks), then re-run in parallel
-//! once to report the fan-out wall-clock of the whole grid.
+//! Every braid point asserts bit-identical schedules before timing
+//! counts, and every EPR point asserts the unlimited-capacity fabric
+//! matches the flow oracle exactly, so the reported numbers are for
+//! *the same answer*. Fast-engine points are measured sequentially
+//! (stable wall-clocks), then re-run in parallel once to report the
+//! fan-out wall-clock of the whole grid.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use scq_bench::{fig6_workloads, parallel_map, run_policy, run_policy_reference};
 use scq_braid::Policy;
+use scq_ir::DependencyDag;
+use scq_teleport::{
+    schedule_simd, simulate_epr_distribution, simulate_epr_on_fabric, DistributionPolicy,
+    EprConfig, EprDemand, FabricEprConfig, PlanarMachine, SimdConfig,
+};
 
 const CODE_DISTANCE: u32 = 5;
+/// Swap lanes per link for the constrained-fabric EPR points.
+const EPR_LANES: u32 = 2;
 
 struct Point {
     app: &'static str,
@@ -129,4 +140,143 @@ fn main() {
     json.push('\n');
     std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
     println!("\nwrote BENCH_sched.json");
+
+    epr_report(&workloads);
+}
+
+/// One EPR point: an application's Multi-SIMD demand trace run through
+/// the legacy flow model, the unlimited-capacity fabric (asserted equal
+/// — the differential oracle), and the constrained fabric (the
+/// contention the flow model cannot see).
+struct EprPoint {
+    app: &'static str,
+    teleports: usize,
+    flow_secs: f64,
+    fabric_secs: f64,
+    makespan_free: u64,
+    makespan_constrained: u64,
+    link_stall_cycles: u64,
+    peak_in_flight: usize,
+}
+
+impl EprPoint {
+    /// Fractional latency added purely by link contention.
+    fn contention_added(&self) -> f64 {
+        self.makespan_constrained as f64 / self.makespan_free.max(1) as f64 - 1.0
+    }
+}
+
+fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
+    let epr = EprConfig::default();
+    let policy = DistributionPolicy::JustInTime { window: 64 };
+    let mut points = Vec::new();
+    for (bench, circuit) in workloads {
+        let dag = DependencyDag::from_circuit(circuit);
+        let simd = schedule_simd(circuit, &dag, &SimdConfig::default());
+        let machine = PlanarMachine::new(circuit.num_qubits(), None);
+        let requests = machine.requests_for(&simd);
+        let demands: Vec<EprDemand> = requests
+            .iter()
+            .map(|r| EprDemand {
+                time: r.time,
+                distance: r.src.manhattan(r.dst),
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        let flow = simulate_epr_distribution(&demands, policy, &epr);
+        let flow_secs = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let free = simulate_epr_on_fabric(
+            &requests,
+            policy,
+            &FabricEprConfig::unlimited(epr),
+            machine.topology,
+        );
+        let fabric_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            free.pipeline,
+            flow,
+            "{}: fabric diverged from the flow oracle",
+            bench.name()
+        );
+
+        let tight = simulate_epr_on_fabric(
+            &requests,
+            policy,
+            &FabricEprConfig {
+                epr,
+                link_capacity: EPR_LANES,
+            },
+            machine.topology,
+        );
+        points.push(EprPoint {
+            app: bench.name(),
+            teleports: requests.len(),
+            flow_secs,
+            fabric_secs,
+            makespan_free: free.pipeline.makespan,
+            makespan_constrained: tight.pipeline.makespan,
+            link_stall_cycles: tight.link_stall_cycles,
+            peak_in_flight: tight.peak_in_flight,
+        });
+    }
+
+    println!("\nEPR fabric report (JIT window 64, {EPR_LANES} lanes/link vs unlimited)");
+    println!();
+    println!(
+        "{:<10} {:>9} {:>10} {:>10} {:>11} {:>11} {:>12} {:>12}",
+        "app",
+        "teleports",
+        "flow",
+        "fabric",
+        "free span",
+        "tight span",
+        "contention+",
+        "lane stalls"
+    );
+    for p in &points {
+        println!(
+            "{:<10} {:>9} {:>9.3}ms {:>9.3}ms {:>11} {:>11} {:>11.2}% {:>12}",
+            p.app,
+            p.teleports,
+            p.flow_secs * 1e3,
+            p.fabric_secs * 1e3,
+            p.makespan_free,
+            p.makespan_constrained,
+            p.contention_added() * 100.0,
+            p.link_stall_cycles,
+        );
+    }
+    assert!(
+        points.iter().any(|p| p.contention_added() > 0.0),
+        "constrained fabric showed no contention anywhere"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"policy\": \"jit_window_64\",");
+    let _ = writeln!(json, "  \"constrained_link_capacity\": {EPR_LANES},");
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"app\": \"{}\", \"teleports\": {}, \"flow_secs\": {:.6}, \"fabric_secs\": {:.6}, \"makespan_free\": {}, \"makespan_constrained\": {}, \"contention_added_latency\": {:.4}, \"link_stall_cycles\": {}, \"peak_in_flight\": {}}}{comma}",
+            p.app,
+            p.teleports,
+            p.flow_secs,
+            p.fabric_secs,
+            p.makespan_free,
+            p.makespan_constrained,
+            p.contention_added(),
+            p.link_stall_cycles,
+            p.peak_in_flight,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push('}');
+    json.push('\n');
+    std::fs::write("BENCH_epr.json", &json).expect("write BENCH_epr.json");
+    println!("\nwrote BENCH_epr.json");
 }

@@ -68,17 +68,24 @@ fn main() {
         println!("{:<20} {lo} {mid} {hi}", p.name);
     }
 
-    println!("\n[jit latency] residual overhead (default 4%)");
-    println!("{:<20} {:>10} {:>10} {:>10}", "app", "0%", "4%", "10%");
+    println!("\n[jit latency] measured teleport-congestion multiplier (fabric-calibrated)");
+    println!(
+        "{:<20} {:>10} {:>10} {:>10}",
+        "app", "none", "measured", "x2 excess"
+    );
     let rows = parallel_map(&profiles, |p| {
-        let mk = |ovh: f64| EstimateConfig {
-            jit_latency_overhead: ovh,
-            ..base
+        let mk = |congestion: f64| {
+            let mut perturbed = p.clone();
+            perturbed.teleport_congestion = congestion;
+            perturbed
         };
+        // Perturb the measured multiplier: drop it to 1 (no residual
+        // latency) and double its excess over 1.
+        let excess = p.teleport_congestion - 1.0;
         (
-            crossover(p, &mk(0.0)),
-            crossover(p, &mk(0.04)),
-            crossover(p, &mk(0.10)),
+            crossover(&mk(1.0), &base),
+            crossover(p, &base),
+            crossover(&mk(1.0 + 2.0 * excess), &base),
         )
     });
     for (p, (lo, mid, hi)) in profiles.iter().zip(&rows) {

@@ -11,8 +11,9 @@
 //! | `fig7` | Figure 7 — absolute time and qubits vs computation size |
 //! | `fig8` | Figure 8 — normalized ratios and cross-over points |
 //! | `fig9` | Figure 9 — favorability boundaries over error rates |
-//! | `epr_pipelining` | Section 8.1 — JIT EPR window study |
-//! | `perf_report` | `BENCH_sched.json` — scheduler wall-clock trajectory |
+//! | `epr_pipelining` | Section 8.1 — JIT EPR window study (route-aware) |
+//! | `perf_report` | `BENCH_sched.json` + `BENCH_epr.json` — perf trajectories |
+//! | `bench_guard` | CI regression guard on the scheduler geomean speedup |
 //!
 //! Run all of them with `scripts/run_all.sh` or individually via
 //! `cargo run --release -p scq-bench --bin <name>`.

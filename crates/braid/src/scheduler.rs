@@ -200,21 +200,13 @@ impl OpState {
 
 /// Evenly spreads `count` factory sites along the top and bottom router
 /// rows of a `mesh_w x mesh_h` mesh (the edge factory placement of
-/// Figure 3b). Duplicate positions collapse, so fewer sites may return.
+/// Figure 3b, via the shared [`scq_surface::edge_factory_sites`] rule).
+/// Duplicate positions collapse, so fewer sites may return.
 pub fn factory_sites(mesh_w: u32, mesh_h: u32, count: u32) -> Vec<Coord> {
-    let mut sites = Vec::new();
-    let top = count.div_ceil(2);
-    let bottom = count - top;
-    for (row, n) in [(0u32, top), (mesh_h - 1, bottom)] {
-        for i in 0..n {
-            let x =
-                ((2 * u64::from(i) + 1) * u64::from(mesh_w - 1) / (2 * u64::from(n).max(1))) as u32;
-            sites.push(Coord::new(x, row));
-        }
-    }
-    sites.sort();
-    sites.dedup();
-    sites
+    scq_surface::edge_factory_sites(mesh_w, mesh_h, count)
+        .into_iter()
+        .map(|(x, y)| Coord::new(x, y))
+        .collect()
 }
 
 /// Schedules `circuit` on the tiled double-defect architecture.
@@ -325,6 +317,18 @@ struct IssueEnv<'a> {
 }
 
 impl Engine {
+    /// The one failed-claim bookkeeping rule, shared by the pruned and
+    /// walked failure paths — the bit-identical-to-reference guarantee
+    /// depends on both paths escalating and dropping identically.
+    fn record_failed_attempt(&mut self, op: usize, config: &BraidConfig) {
+        self.fail_count[op] += 1;
+        if self.fail_count[op] > config.drop_timeout {
+            // Drop and re-inject: restart the routing ladder.
+            self.stats.drops += 1;
+            self.fail_count[op] = 2 * config.route_timeout; // stay adaptive
+        }
+    }
+
     /// Attempts to issue `leg` of `op` at time `t`. Semantics are
     /// bit-for-bit those of the naive reference: the same escalation
     /// ladder, the same failure accounting, the same drop rule — only
@@ -373,6 +377,22 @@ impl Engine {
         // path (into a pooled buffer) on success.
         let attempts = self.fail_count[op];
         let owner = op as u32;
+        // Claim-walk pruning: every route contains its endpoints, so a
+        // foreign claim on either endpoint router dooms this attempt
+        // under all three routing modes (XY, YX, and adaptive) before
+        // any walk starts. The bookkeeping below is exactly that of a
+        // walked-and-failed claim — adaptive attempts still count, the
+        // failure counter still escalates — so schedules stay
+        // bit-identical to the unpruned reference; only the
+        // O(route length) walk is skipped. Under contention braids
+        // commonly cross foreign anchors, so this is the common case.
+        if self.mesh.node_blocked(src, owner) || self.mesh.node_blocked(dst, owner) {
+            if attempts > 2 * env.config.route_timeout {
+                self.stats.adaptive_routes += 1;
+            }
+            self.record_failed_attempt(op, env.config);
+            return false;
+        }
         let mut path = self.path_pool.pop().unwrap_or_default();
         let claimed = if attempts <= env.config.route_timeout {
             self.mesh.claim_route_xy_into(src, dst, owner, &mut path)
@@ -403,12 +423,7 @@ impl Engine {
             true
         } else {
             self.path_pool.push(path);
-            self.fail_count[op] += 1;
-            if self.fail_count[op] > env.config.drop_timeout {
-                // Drop and re-inject: restart the routing ladder.
-                self.stats.drops += 1;
-                self.fail_count[op] = 2 * env.config.route_timeout; // stay adaptive
-            }
+            self.record_failed_attempt(op, env.config);
             false
         }
     }
@@ -439,6 +454,11 @@ impl Engine {
 ///    failure) and adaptive attempts reuse one [`RouteScratch`];
 ///    successful routes land in pooled buffers that the sink returns on
 ///    release.
+/// 4. **Claim-walk pruning.** An attempt whose endpoint router is held
+///    by another braid is doomed under every routing mode (a route
+///    always contains its endpoints), so it fails in O(1) via
+///    [`Mesh::node_blocked`] with the exact bookkeeping of a walked
+///    failure — no walk, same schedule.
 ///
 /// # Errors
 ///

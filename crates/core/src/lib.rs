@@ -22,6 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
+
+pub use backend::{
+    default_backends, BraidBackend, CommBackend, CommDetail, CommReport, TeleportBackend,
+};
+
 use std::error::Error;
 use std::fmt;
 
@@ -31,7 +37,7 @@ use scq_estimate::{estimate_both, AppProfile, EstimateConfig, ResourceEstimate};
 use scq_ir::{analysis::CircuitStats, Circuit, DependencyDag, InteractionGraph};
 use scq_layout::{place, Layout};
 use scq_surface::{CodeDistanceModel, Encoding, Technology, ThresholdExceeded};
-use scq_teleport::{schedule_planar, PlanarConfig, PlanarSchedule};
+use scq_teleport::{PlanarConfig, PlanarSchedule};
 
 /// Configuration of one end-to-end toolflow run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -219,24 +225,30 @@ pub fn run_toolflow_on(
         .distance_model
         .required_distance_for_ops(config.technology.p_physical, stats.total_ops.max(1) as f64)?;
 
-    // Mapping-level optimization.
+    // Mapping-level optimization; the layout feeds the braid backend
+    // and stays on the report for inspection.
     let graph = InteractionGraph::from_circuit(circuit);
     let layout = place(&graph, config.policy.layout_strategy(), None);
 
-    // Network-level: double-defect braid backend.
-    let braid_config = BraidConfig {
+    // Network-level: both encodings behind the unified CommBackend
+    // interface, on the shared mesh substrate.
+    let braid = BraidBackend::new(BraidConfig {
         policy: config.policy,
         code_distance,
         ..Default::default()
-    };
-    let braid = scq_braid::schedule(circuit, &dag, &layout, &braid_config)?;
-
-    // Network-level: planar Multi-SIMD backend.
-    let planar_config = PlanarConfig {
+    })
+    .schedule_on_layout(circuit, &dag, &layout)?
+    .detail
+    .into_braid()
+    .expect("braid backend reports braid detail");
+    let planar = TeleportBackend::new(PlanarConfig {
         code_distance,
         ..Default::default()
-    };
-    let planar = schedule_planar(circuit, &dag, &planar_config);
+    })
+    .schedule(circuit, &dag)?
+    .detail
+    .into_teleport()
+    .expect("teleport backend reports teleport detail");
 
     // Design-space verdict at this instance's computation size.
     let profile = AppProfile::calibrate(benchmark);

@@ -25,9 +25,6 @@ pub struct EstimateConfig {
     pub exposure_omega: f64,
     /// Fixed logical latency of a teleport in EC cycles.
     pub teleport_fixed_cycles: f64,
-    /// Residual latency overhead of just-in-time EPR distribution
-    /// (Section 8.1 reports ~4% worst case).
-    pub jit_latency_overhead: f64,
     /// Distribution cycles fully hidden by even a minimal prefetch
     /// window: swap chains shorter than this never stall a teleport.
     pub prefetch_hide_cycles: f64,
@@ -41,7 +38,6 @@ impl Default for EstimateConfig {
             factory: FactoryConfig::default(),
             exposure_omega: 1.0,
             teleport_fixed_cycles: 3.0,
-            jit_latency_overhead: 0.04,
             prefetch_hide_cycles: 4.0,
         }
     }
@@ -142,7 +138,10 @@ pub fn estimate(
             let comm_cost = config.teleport_fixed_cycles + exposed_cycles;
             let per_op =
                 (profile.frac_two_qubit + profile.frac_t) * comm_cost + profile.frac_local() * 1.0;
-            let cycles = depth * per_op * (1.0 + config.jit_latency_overhead);
+            // Residual JIT latency: the per-app multiplier measured on
+            // the route-aware EPR fabric (makespan over ideal), not a
+            // closed-form constant.
+            let cycles = depth * per_op * profile.teleport_congestion.max(1.0);
             // Little's law: live EPR pairs = launch rate x time in flight.
             let comm_rate = (profile.frac_two_qubit + profile.frac_t) * kq / cycles.max(1.0);
             let live_pairs = comm_rate * dist_tiles * hop;
@@ -192,6 +191,7 @@ mod tests {
             frac_two_qubit: 0.3,
             frac_t: 0.25,
             braid_congestion: 1.03,
+            teleport_congestion: 1.04,
             layout_kappa: 0.7,
             scaling: LogicalScaling::Grover { coeff: 1.0 },
         }
@@ -204,6 +204,7 @@ mod tests {
             frac_two_qubit: 0.35,
             frac_t: 0.3,
             braid_congestion: 2.2,
+            teleport_congestion: 1.04,
             layout_kappa: 0.7,
             scaling: LogicalScaling::Power {
                 a: 1.0,

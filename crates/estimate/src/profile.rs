@@ -12,6 +12,10 @@ use scq_apps::Benchmark;
 use scq_braid::{schedule_circuit, BraidConfig, Policy};
 use scq_ir::{analysis, DependencyDag, InteractionGraph};
 use scq_layout::{place, LayoutStrategy};
+use scq_teleport::{
+    hop_cycles_for_distance, schedule_simd, simulate_epr_on_fabric, DistributionPolicy, EprConfig,
+    FabricEprConfig, PlanarMachine, SimdConfig,
+};
 
 /// How an application's logical qubit count scales with its logical
 /// operation count (`KQ`, the paper's "size of computation").
@@ -79,6 +83,12 @@ pub struct AppProfile {
     /// Braid schedule-to-critical-path ratio under Policy 6 — the
     /// congestion multiplier double-defect machines pay.
     pub braid_congestion: f64,
+    /// Planar makespan-to-ideal ratio (>= 1) measured on the
+    /// route-aware EPR fabric under constrained swap lanes — the
+    /// residual latency multiplier just-in-time distribution pays,
+    /// replacing the former closed-form ~4% constant with per-app
+    /// measured fabric stalls.
+    pub teleport_congestion: f64,
     /// Mean interaction distance divided by sqrt(logical qubits) under
     /// the optimized layout — converts machine size to tile distance.
     pub layout_kappa: f64,
@@ -114,6 +124,10 @@ impl AppProfile {
             .unwrap_or(1.0)
             .max(1.0);
 
+        // Teleport congestion on the same instance, measured from the
+        // route-aware EPR fabric rather than a closed-form hop model.
+        let teleport_congestion = measured_teleport_congestion(&braid_circuit);
+
         // Layout distance coefficient.
         let graph = InteractionGraph::from_circuit(&circuit);
         let layout = place(&graph, LayoutStrategy::InteractionAware, None);
@@ -133,6 +147,7 @@ impl AppProfile {
             frac_two_qubit,
             frac_t,
             braid_congestion,
+            teleport_congestion,
             layout_kappa: kappa.max(0.05),
             scaling: fit_scaling(bench),
         }
@@ -156,6 +171,7 @@ impl AppProfile {
             .map(|s| s.schedule_to_cp_ratio())
             .unwrap_or(1.0)
             .max(1.0);
+        let teleport_congestion = measured_teleport_congestion(circuit);
         let graph = InteractionGraph::from_circuit(circuit);
         let layout = place(&graph, LayoutStrategy::InteractionAware, None);
         let kappa = if graph.total_weight() > 0 && circuit.num_qubits() > 1 {
@@ -169,6 +185,7 @@ impl AppProfile {
             frac_two_qubit: stats.two_qubit_ops as f64 / total,
             frac_t: stats.t_count as f64 / total,
             braid_congestion,
+            teleport_congestion,
             layout_kappa: kappa.max(0.05),
             scaling: LogicalScaling::Power {
                 a: 0.0,
@@ -187,6 +204,42 @@ impl AppProfile {
     pub fn frac_local(&self) -> f64 {
         (1.0 - self.frac_two_qubit - self.frac_t).max(0.0)
     }
+}
+
+/// Measures an application's teleport congestion multiplier on the
+/// route-aware EPR fabric: the makespan with constrained swap lanes
+/// (two per tile boundary) over the makespan with unlimited lanes,
+/// same launch policy. Window and global-bandwidth effects cancel in
+/// the ratio, so what remains is precisely the link contention the
+/// closed-form hop model could not see — near 1.0 for serial
+/// applications, measurably above it for parallel ones whose EPR
+/// halves share swap lanes.
+fn measured_teleport_congestion(circuit: &scq_ir::Circuit) -> f64 {
+    // One SIMD schedule, floorplan, and demand trace serve both fabric
+    // runs — only the swap-lane capacity differs between them.
+    let dag = DependencyDag::from_circuit(circuit);
+    let simd = schedule_simd(circuit, &dag, &SimdConfig::default());
+    let machine = PlanarMachine::new(circuit.num_qubits(), None);
+    let requests = machine.requests_for(&simd);
+    let epr = EprConfig {
+        hop_cycles: hop_cycles_for_distance(5),
+        ..Default::default()
+    };
+    let policy = DistributionPolicy::JustInTime { window: 64 };
+    let run = |link_capacity: u32| {
+        simulate_epr_on_fabric(
+            &requests,
+            policy,
+            &FabricEprConfig { epr, link_capacity },
+            machine.topology,
+        )
+    };
+    let tight = run(2);
+    let free = run(scq_mesh::FabricConfig::UNLIMITED);
+    if free.pipeline.makespan == 0 {
+        return 1.0;
+    }
+    (tight.pipeline.makespan as f64 / free.pipeline.makespan as f64).max(1.0)
 }
 
 /// Instance scale used for braid-congestion calibration: large enough to
@@ -265,6 +318,12 @@ mod tests {
             assert!(p.frac_t > 0.0 && p.frac_t < 1.0);
             assert!(p.frac_local() >= 0.0);
             assert!(p.braid_congestion >= 1.0);
+            assert!(
+                p.teleport_congestion >= 1.0 && p.teleport_congestion < 3.0,
+                "{}: teleport congestion {}",
+                p.name,
+                p.teleport_congestion
+            );
             assert!(p.layout_kappa > 0.0 && p.layout_kappa < 3.0);
             assert!(p.logical_qubits(1e6) > p.logical_qubits(1e2));
         }

@@ -12,15 +12,17 @@ fn arb_profile() -> impl Strategy<Value = AppProfile> {
         0.05f64..0.5, // frac 2q
         0.05f64..0.4, // frac T
         1.0f64..3.0,  // braid congestion
+        1.0f64..1.5,  // teleport congestion (fabric-measured multiplier)
         0.1f64..1.0,  // kappa
         0.3f64..0.7,  // qubit-scaling exponent
     )
-        .prop_map(|(p, f2, ft, c, k, b)| AppProfile {
+        .prop_map(|(p, f2, ft, c, tc, k, b)| AppProfile {
             name: "prop".into(),
             parallelism: p,
             frac_two_qubit: f2,
             frac_t: ft.min(0.9 - f2),
             braid_congestion: c,
+            teleport_congestion: tc,
             layout_kappa: k,
             scaling: LogicalScaling::Power { a: 1.0, b, c: 2.0 },
         })

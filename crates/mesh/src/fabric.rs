@@ -1,0 +1,495 @@
+//! The packet-style communication fabric: in-flight messages with
+//! per-link bandwidth, driven by an event queue that jumps idle gaps.
+//!
+//! Where [`Mesh`](crate::Mesh) models braids — circuit-switched
+//! messages that claim an entire route atomically and can never be
+//! buffered — [`Fabric`] models the planar machine's EPR distribution
+//! (paper Section 8.1): an EPR half is a *packet* that traverses its
+//! route one link at a time through swap chains. Each link has a finite
+//! number of swap lanes ([`FabricConfig::link_capacity`]); a message
+//! whose next link is saturated waits at its current router in FIFO
+//! order and enters when a lane frees. Crossing one link takes
+//! [`FabricConfig::hop_cycles`].
+//!
+//! The simulation is fully event-driven: every in-flight message keeps
+//! a route cursor and a pending hop-completion event; [`Fabric::advance_to`]
+//! pops events in `(time, message)` order and jumps straight across
+//! idle stretches, exactly like the braid engine's `tick_n` jumps (PR 1)
+//! — there is no per-cycle stepping anywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use scq_mesh::{Coord, Fabric, FabricConfig, Topology};
+//!
+//! let topo = Topology::new(8, 8);
+//! let mut fabric = Fabric::new(topo, FabricConfig::default());
+//! let route = topo.route_xy(Coord::new(0, 0), Coord::new(5, 0));
+//! let id = fabric.inject(route, 10);
+//! fabric.run_to_completion();
+//! // 5 hops at 1 cycle each, launched at t = 10.
+//! assert_eq!(fabric.arrival_time(id), Some(15));
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::coord::Path;
+use crate::topology::Topology;
+
+/// Identifier of an in-flight message, assigned by [`Fabric::inject`]
+/// in injection order.
+pub type MsgId = u32;
+
+/// Static parameters of the packet fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Cycles for a message to cross one link (swap-chain speed).
+    pub hop_cycles: u64,
+    /// Messages that may traverse one link concurrently (swap lanes per
+    /// tile boundary). Use [`FabricConfig::UNLIMITED`] for the
+    /// contention-free flow model.
+    pub link_capacity: u32,
+}
+
+impl FabricConfig {
+    /// Sentinel capacity that disables link contention entirely — the
+    /// configuration under which the fabric must reproduce the legacy
+    /// flow-level EPR model exactly.
+    pub const UNLIMITED: u32 = u32::MAX;
+
+    /// A contention-free fabric with the given hop latency.
+    pub fn unlimited(hop_cycles: u64) -> Self {
+        FabricConfig {
+            hop_cycles,
+            link_capacity: Self::UNLIMITED,
+        }
+    }
+}
+
+impl Default for FabricConfig {
+    /// One cycle per hop, four swap lanes per link.
+    fn default() -> Self {
+        FabricConfig {
+            hop_cycles: 1,
+            link_capacity: 4,
+        }
+    }
+}
+
+/// Where a message is in its journey.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum MsgState {
+    /// Injected; the launch event has not fired yet.
+    Scheduled,
+    /// Crossing `link`; a completion event is pending.
+    Traversing { link: usize },
+    /// Queued on `link` (saturated) since cycle `since`.
+    Waiting { link: usize, since: u64 },
+    /// Delivered at cycle `at`.
+    Arrived { at: u64 },
+}
+
+/// One message in the fabric: its route, how far along it is, and what
+/// it is currently doing.
+#[derive(Clone, Debug)]
+struct InFlightMessage {
+    route: Path,
+    /// Index into `route.nodes()` of the router the message last
+    /// departed (while traversing link `cursor -> cursor + 1`) or sits
+    /// at (while waiting).
+    cursor: usize,
+    state: MsgState,
+}
+
+/// Aggregate fabric statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Messages injected.
+    pub injected: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Link traversals completed.
+    pub hops_completed: u64,
+    /// Total cycles messages spent queued at saturated links — the
+    /// contention the flow-level model cannot see.
+    pub link_stall_cycles: u64,
+    /// Maximum simultaneously in-flight messages (launched, not yet
+    /// delivered).
+    pub peak_in_flight: usize,
+}
+
+/// A 2D packet fabric over a [`Topology`].
+///
+/// See the [module docs](self) for the model. Determinism: events are
+/// processed in `(time, MsgId)` order and link wait-queues are FIFO, so
+/// identical injection sequences always produce identical timelines.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    topo: Topology,
+    config: FabricConfig,
+    /// Messages currently occupying each link.
+    load: Vec<u32>,
+    /// Accumulated busy-cycles per link (congestion heatmap data).
+    link_busy: Vec<u64>,
+    /// FIFO wait queue per link.
+    waiters: Vec<VecDeque<MsgId>>,
+    msgs: Vec<InFlightMessage>,
+    /// Pending launch/hop-completion events, min-ordered by (time, id).
+    events: BinaryHeap<Reverse<(u64, MsgId)>>,
+    now: u64,
+    in_flight: usize,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates an idle fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.link_capacity` is zero or `config.hop_cycles`
+    /// is zero.
+    pub fn new(topo: Topology, config: FabricConfig) -> Self {
+        assert!(config.link_capacity > 0, "link capacity must be positive");
+        assert!(config.hop_cycles > 0, "hop latency must be positive");
+        Fabric {
+            topo,
+            config,
+            load: vec![0; topo.num_links()],
+            link_busy: vec![0; topo.num_links()],
+            waiters: vec![VecDeque::new(); topo.num_links()],
+            msgs: Vec::new(),
+            events: BinaryHeap::new(),
+            now: 0,
+            in_flight: 0,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The fabric's geometry.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Current simulation time (the time of the last processed event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Messages launched (their launch event has fired) but not yet
+    /// delivered.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Busy-cycles accumulated per link (canonical [`Topology`] link
+    /// indexing) — the congestion heatmap.
+    pub fn link_busy_cycles(&self) -> &[u64] {
+        &self.link_busy
+    }
+
+    /// Busy-cycles on the hottest link.
+    pub fn hottest_link_busy_cycles(&self) -> u64 {
+        self.link_busy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Injects a message that starts traversing `route` at cycle
+    /// `launch`. Returns its id (ids are dense and ordered by
+    /// injection). Injection itself costs O(log events); all movement
+    /// happens as events are processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is empty or leaves the topology, or if
+    /// `launch` lies in the simulated past (before an already-processed
+    /// event).
+    pub fn inject(&mut self, route: Path, launch: u64) -> MsgId {
+        assert!(!route.is_empty(), "cannot inject an empty route");
+        for &n in route.nodes() {
+            assert!(self.topo.contains(n), "route node {n} off the topology");
+        }
+        assert!(
+            launch >= self.now,
+            "launch at {launch} is before the fabric clock {}",
+            self.now
+        );
+        let id = u32::try_from(self.msgs.len()).expect("fabric message ids fit in u32");
+        self.msgs.push(InFlightMessage {
+            route,
+            cursor: 0,
+            state: MsgState::Scheduled,
+        });
+        self.stats.injected += 1;
+        self.events.push(Reverse((launch, id)));
+        id
+    }
+
+    /// Arrival time of message `id`, if it has been delivered.
+    pub fn arrival_time(&self, id: MsgId) -> Option<u64> {
+        match self.msgs[id as usize].state {
+            MsgState::Arrived { at } => Some(at),
+            _ => None,
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.events.peek().map(|&Reverse((t, _))| t)
+    }
+
+    /// Processes every event up to and including time `t`, jumping the
+    /// clock straight across idle gaps.
+    pub fn advance_to(&mut self, t: u64) {
+        while let Some(&Reverse((et, id))) = self.events.peek() {
+            if et > t {
+                break;
+            }
+            self.events.pop();
+            self.process_event(et, id);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs until message `id` is delivered and returns its arrival
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric runs out of events first (which would mean
+    /// the message was never injected — injected messages always make
+    /// progress, since link holds expire after `hop_cycles`).
+    pub fn run_until_arrival(&mut self, id: MsgId) -> u64 {
+        loop {
+            if let MsgState::Arrived { at } = self.msgs[id as usize].state {
+                return at;
+            }
+            let Reverse((et, eid)) = self
+                .events
+                .pop()
+                .expect("fabric drained with a message still in flight");
+            self.process_event(et, eid);
+        }
+    }
+
+    /// Drains every pending event; afterwards all injected messages
+    /// have arrived.
+    pub fn run_to_completion(&mut self) {
+        while let Some(Reverse((et, id))) = self.events.pop() {
+            self.process_event(et, id);
+        }
+        debug_assert_eq!(self.in_flight, 0);
+    }
+
+    fn process_event(&mut self, t: u64, id: MsgId) {
+        debug_assert!(t >= self.now, "events must be processed in order");
+        self.now = t;
+        let state = self.msgs[id as usize].state.clone();
+        match state {
+            MsgState::Scheduled => {
+                // The message enters the fabric now, not at injection
+                // time — injection may happen arbitrarily early, and
+                // peak_in_flight must measure concurrent *transit*.
+                self.in_flight += 1;
+                self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
+                self.try_advance(t, id);
+            }
+            MsgState::Traversing { link } => {
+                // Hop done: free the lane, wake the FIFO head, move on.
+                self.load[link] -= 1;
+                self.link_busy[link] += self.config.hop_cycles;
+                self.stats.hops_completed += 1;
+                if let Some(w) = self.waiters[link].pop_front() {
+                    let since = match self.msgs[w as usize].state {
+                        MsgState::Waiting { since, .. } => since,
+                        ref other => unreachable!("waiter in state {other:?}"),
+                    };
+                    self.stats.link_stall_cycles += t - since;
+                    self.enter_link(t, w, link);
+                }
+                self.msgs[id as usize].cursor += 1;
+                self.try_advance(t, id);
+            }
+            MsgState::Waiting { .. } | MsgState::Arrived { .. } => {
+                unreachable!("no events are scheduled for waiting or arrived messages")
+            }
+        }
+    }
+
+    /// At time `t`, message `id` sits at `route[cursor]`: deliver it or
+    /// move it onto its next link (queueing if the link is saturated).
+    fn try_advance(&mut self, t: u64, id: MsgId) {
+        let msg = &self.msgs[id as usize];
+        let cursor = msg.cursor;
+        if cursor + 1 == msg.route.nodes().len() {
+            self.msgs[id as usize].state = MsgState::Arrived { at: t };
+            self.in_flight -= 1;
+            self.stats.delivered += 1;
+            return;
+        }
+        let link = self
+            .topo
+            .link_index(msg.route.nodes()[cursor], msg.route.nodes()[cursor + 1]);
+        if self.load[link] < self.config.link_capacity {
+            self.enter_link(t, id, link);
+        } else {
+            self.waiters[link].push_back(id);
+            self.msgs[id as usize].state = MsgState::Waiting { link, since: t };
+        }
+    }
+
+    fn enter_link(&mut self, t: u64, id: MsgId, link: usize) {
+        self.load[link] += 1;
+        self.msgs[id as usize].state = MsgState::Traversing { link };
+        self.events.push(Reverse((t + self.config.hop_cycles, id)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Coord;
+
+    fn row_route(topo: Topology, y: u32, x0: u32, x1: u32) -> Path {
+        topo.route_xy(Coord::new(x0, y), Coord::new(x1, y))
+    }
+
+    #[test]
+    fn uncontended_message_arrives_after_hops_times_latency() {
+        let topo = Topology::new(10, 3);
+        for hop in [1u64, 3, 7] {
+            let mut f = Fabric::new(topo, FabricConfig::unlimited(hop));
+            let id = f.inject(row_route(topo, 0, 0, 6), 5);
+            assert_eq!(f.run_until_arrival(id), 5 + 6 * hop);
+            assert_eq!(f.stats().link_stall_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn single_node_route_arrives_at_launch() {
+        let topo = Topology::new(3, 3);
+        let mut f = Fabric::new(topo, FabricConfig::default());
+        let id = f.inject(Path::new(vec![Coord::new(1, 1)]), 9);
+        f.run_to_completion();
+        assert_eq!(f.arrival_time(id), Some(9));
+        assert_eq!(f.stats().hops_completed, 0);
+    }
+
+    #[test]
+    fn capacity_one_serializes_a_shared_link() {
+        let topo = Topology::new(4, 1);
+        let cfg = FabricConfig {
+            hop_cycles: 2,
+            link_capacity: 1,
+        };
+        let mut f = Fabric::new(topo, cfg);
+        // Two messages over the same 3-link row, launched together.
+        let a = f.inject(row_route(topo, 0, 0, 3), 0);
+        let b = f.inject(row_route(topo, 0, 0, 3), 0);
+        f.run_to_completion();
+        // a proceeds unimpeded: 3 hops x 2 cycles.
+        assert_eq!(f.arrival_time(a), Some(6));
+        // b waits 2 cycles behind a at every... only at the first link —
+        // after that the pipeline spacing is established.
+        assert_eq!(f.arrival_time(b), Some(8));
+        assert_eq!(f.stats().link_stall_cycles, 2);
+    }
+
+    #[test]
+    fn unlimited_capacity_never_stalls() {
+        let topo = Topology::new(8, 8);
+        let mut f = Fabric::new(topo, FabricConfig::unlimited(1));
+        let ids: Vec<MsgId> = (0..32)
+            .map(|i| f.inject(row_route(topo, 0, 0, 7), i % 3))
+            .collect();
+        f.run_to_completion();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(f.arrival_time(*id), Some((i as u64 % 3) + 7));
+        }
+        assert_eq!(f.stats().link_stall_cycles, 0);
+        assert_eq!(f.stats().delivered, 32);
+    }
+
+    #[test]
+    fn fifo_wake_order_is_deterministic() {
+        let topo = Topology::new(3, 1);
+        let cfg = FabricConfig {
+            hop_cycles: 5,
+            link_capacity: 1,
+        };
+        let mut f = Fabric::new(topo, cfg);
+        let a = f.inject(row_route(topo, 0, 0, 2), 0);
+        let b = f.inject(row_route(topo, 0, 0, 2), 1);
+        let c = f.inject(row_route(topo, 0, 0, 2), 2);
+        f.run_to_completion();
+        // a: enters link0 at 0, link1 at 5, arrives 10.
+        // b: queued on link0 at 1, enters at 5, link1 at 10, arrives 15.
+        // c: queued at 2, enters link0 at 10, link1 at 15, arrives 20.
+        assert_eq!(f.arrival_time(a), Some(10));
+        assert_eq!(f.arrival_time(b), Some(15));
+        assert_eq!(f.arrival_time(c), Some(20));
+        // Stalls: b waited 4 on link0 + 0 on link1; c waited 8 on link0.
+        assert_eq!(f.stats().link_stall_cycles, 12);
+    }
+
+    #[test]
+    fn advance_to_processes_only_due_events() {
+        let topo = Topology::new(6, 1);
+        let mut f = Fabric::new(topo, FabricConfig::unlimited(1));
+        let id = f.inject(row_route(topo, 0, 0, 5), 0);
+        f.advance_to(3);
+        assert_eq!(f.arrival_time(id), None);
+        assert_eq!(f.in_flight(), 1);
+        f.advance_to(5);
+        assert_eq!(f.arrival_time(id), Some(5));
+        assert_eq!(f.in_flight(), 0);
+        // The clock jumped idle gaps without per-cycle stepping.
+        assert_eq!(f.now(), 5);
+    }
+
+    #[test]
+    fn link_busy_accounting_tracks_traversals() {
+        let topo = Topology::new(4, 1);
+        let mut f = Fabric::new(
+            topo,
+            FabricConfig {
+                hop_cycles: 3,
+                link_capacity: 2,
+            },
+        );
+        for _ in 0..4 {
+            f.inject(row_route(topo, 0, 0, 3), 0);
+        }
+        f.run_to_completion();
+        // 4 messages x 3 links x 3 cycles.
+        assert_eq!(f.link_busy_cycles().iter().sum::<u64>(), 36);
+        assert_eq!(f.hottest_link_busy_cycles(), 12);
+        assert_eq!(f.stats().peak_in_flight, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fabric::new(
+            Topology::new(2, 2),
+            FabricConfig {
+                hop_cycles: 1,
+                link_capacity: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before the fabric clock")]
+    fn injection_into_the_past_rejected() {
+        let topo = Topology::new(4, 1);
+        let mut f = Fabric::new(topo, FabricConfig::default());
+        f.inject(row_route(topo, 0, 0, 2), 10);
+        f.run_to_completion();
+        let _ = f.inject(row_route(topo, 0, 0, 2), 3);
+    }
+}

@@ -1,11 +1,28 @@
-//! Circuit-switched 2D mesh network substrate for braid routing.
+//! The communication-fabric substrate shared by both surface-code
+//! encodings: one geometry, two occupancy disciplines.
+//!
+//! ```text
+//!                    Topology (geometry + deterministic routes)
+//!                    /                                    \
+//!         Mesh (circuit-switched)              Fabric (packet-style)
+//!         braids claim whole routes            EPR halves hop link by
+//!         atomically; no buffering             link; per-link lanes,
+//!         (double-defect backend)              FIFO queueing
+//!                    \                                    /
+//!              scq-braid scheduler            scq-teleport EPR pipeline
+//! ```
 //!
 //! The paper maps double-defect braiding onto "simulating a mesh network,
-//! with braids as messages in this network" (Section 6.1). This crate is
-//! that mesh: routers sit at tile corners, braids atomically claim whole
-//! routes (nodes and links) because defects can neither cross nor be
-//! buffered, and the fabric tracks the utilization statistic Figure 6
-//! reports.
+//! with braids as messages in this network" (Section 6.1). [`Mesh`] is
+//! that network: routers sit at tile corners, braids atomically claim
+//! whole routes (nodes and links) because defects can neither cross nor
+//! be buffered, and the mesh tracks the utilization statistic Figure 6
+//! reports. [`Fabric`] is the planar machine's counterpart (Section
+//! 8.1): EPR halves are in-flight messages with a route cursor and a
+//! per-hop countdown, links have a finite number of swap lanes, and
+//! saturated links queue messages in FIFO order — the congestion the
+//! flow-level model cannot express. Both layers share the [`Topology`]
+//! index spaces, and both advance event-driven (no per-cycle stepping).
 //!
 //! Three routing policies are provided, matching the braid scheduler's
 //! escalation ladder: dimension-ordered [`Mesh::route_xy`] /
@@ -42,8 +59,12 @@
 #![warn(missing_docs)]
 
 mod coord;
+mod fabric;
 #[allow(clippy::module_inception)]
 mod mesh;
+mod topology;
 
 pub use coord::{Coord, Path};
+pub use fabric::{Fabric, FabricConfig, FabricStats, MsgId};
 pub use mesh::{ClaimId, Mesh, RouteScratch};
+pub use topology::Topology;

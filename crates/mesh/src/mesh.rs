@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use crate::coord::{Coord, Path};
+use crate::topology::{DimOrder, Topology};
 
 /// Identifier of a path owner (one braid or message).
 pub type ClaimId = u32;
@@ -46,13 +47,6 @@ impl RouteScratch {
     }
 }
 
-/// The two dimension orders a deterministic route can walk.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum DimOrder {
-    XThenY,
-    YThenX,
-}
-
 /// A 2D circuit-switched mesh of routers and links.
 ///
 /// This models the braid fabric of the paper's Section 6.1: a braid is a
@@ -81,8 +75,7 @@ enum DimOrder {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Mesh {
-    width: u32,
-    height: u32,
+    topo: Topology,
     /// Horizontal link (x, y) connects (x, y) and (x+1, y); `(width-1) * height`.
     h_links: Vec<ClaimId>,
     /// Vertical link (x, y) connects (x, y) and (x, y+1); `width * (height-1)`.
@@ -102,32 +95,37 @@ impl Mesh {
     ///
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        let topo = Topology::new(width, height);
         Mesh {
-            width,
-            height,
-            h_links: vec![FREE; ((width - 1) * height) as usize],
-            v_links: vec![FREE; (width * (height - 1)) as usize],
-            nodes: vec![FREE; (width * height) as usize],
+            topo,
+            h_links: vec![FREE; topo.num_h_links()],
+            v_links: vec![FREE; topo.num_v_links()],
+            nodes: vec![FREE; topo.num_nodes()],
             busy_links: 0,
             busy_link_cycles: 0,
             ticks: 0,
         }
     }
 
+    /// The underlying geometry, shared with the packet-style
+    /// [`Fabric`](crate::Fabric) layer.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
     /// Mesh width in routers.
     pub fn width(&self) -> u32 {
-        self.width
+        self.topo.width()
     }
 
     /// Mesh height in routers.
     pub fn height(&self) -> u32 {
-        self.height
+        self.topo.height()
     }
 
     /// Total number of links.
     pub fn num_links(&self) -> usize {
-        self.h_links.len() + self.v_links.len()
+        self.topo.num_links()
     }
 
     /// Number of currently claimed links.
@@ -137,19 +135,39 @@ impl Mesh {
 
     /// Returns `true` if `c` lies on the mesh.
     pub fn contains(&self, c: Coord) -> bool {
-        c.x < self.width && c.y < self.height
+        self.topo.contains(c)
     }
 
     fn h_index(&self, x: u32, y: u32) -> usize {
-        (y * (self.width - 1) + x) as usize
+        self.topo.h_index(x, y)
     }
 
     fn v_index(&self, x: u32, y: u32) -> usize {
-        (y * self.width + x) as usize
+        self.topo.v_index(x, y)
     }
 
     fn node_index(&self, c: Coord) -> usize {
-        (c.y * self.width + c.x) as usize
+        self.topo.node_index(c)
+    }
+
+    /// Returns `true` if the router at `c` is claimed by an owner other
+    /// than `owner` — in which case *every* route claim with `c` as an
+    /// endpoint (dimension-ordered or adaptive) is certain to fail,
+    /// since a route always contains its endpoints. This is the O(1)
+    /// pre-check the braid scheduler's claim-walk pruning relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is off the mesh.
+    pub fn node_blocked(&self, c: Coord, owner: ClaimId) -> bool {
+        assert!(
+            self.contains(c),
+            "node {c} outside {}x{} mesh",
+            self.width(),
+            self.height()
+        );
+        let o = self.nodes[self.node_index(c)];
+        o != FREE && o != owner
     }
 
     fn link_slot(&mut self, a: Coord, b: Coord) -> &mut ClaimId {
@@ -184,8 +202,8 @@ impl Mesh {
             assert!(
                 self.contains(n),
                 "path node {n} outside {}x{} mesh",
-                self.width,
-                self.height
+                self.width(),
+                self.height()
             );
             let o = self.nodes[self.node_index(n)];
             if o != FREE && o != owner {
@@ -249,71 +267,6 @@ impl Mesh {
         }
     }
 
-    /// Walks the dimension-ordered route `src -> dst`, invoking `f` on
-    /// every node in order. `f` returning `false` aborts the walk; the
-    /// return value reports whether the walk completed.
-    fn walk_dim_ordered(
-        src: Coord,
-        dst: Coord,
-        order: DimOrder,
-        mut f: impl FnMut(Coord) -> bool,
-    ) -> bool {
-        let mut cur = src;
-        if !f(cur) {
-            return false;
-        }
-        let step_x = |cur: &mut Coord| {
-            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
-        };
-        let step_y = |cur: &mut Coord| {
-            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
-        };
-        match order {
-            DimOrder::XThenY => {
-                while cur.x != dst.x {
-                    step_x(&mut cur);
-                    if !f(cur) {
-                        return false;
-                    }
-                }
-                while cur.y != dst.y {
-                    step_y(&mut cur);
-                    if !f(cur) {
-                        return false;
-                    }
-                }
-            }
-            DimOrder::YThenX => {
-                while cur.y != dst.y {
-                    step_y(&mut cur);
-                    if !f(cur) {
-                        return false;
-                    }
-                }
-                while cur.x != dst.x {
-                    step_x(&mut cur);
-                    if !f(cur) {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
-    }
-
-    fn route_dim_ordered_into(&self, src: Coord, dst: Coord, order: DimOrder, out: &mut Path) {
-        assert!(
-            self.contains(src) && self.contains(dst),
-            "endpoints must be on the mesh"
-        );
-        let nodes = out.nodes_mut();
-        nodes.clear();
-        Self::walk_dim_ordered(src, dst, order, |c| {
-            nodes.push(c);
-            true
-        });
-    }
-
     /// Dimension-ordered (X then Y) route between two routers.
     ///
     /// # Panics
@@ -332,7 +285,8 @@ impl Mesh {
     ///
     /// As [`Mesh::route_xy`].
     pub fn route_xy_into(&self, src: Coord, dst: Coord, out: &mut Path) {
-        self.route_dim_ordered_into(src, dst, DimOrder::XThenY, out);
+        self.topo
+            .route_dim_ordered_into(src, dst, DimOrder::XThenY, out);
     }
 
     /// Dimension-ordered (Y then X) route between two routers.
@@ -353,7 +307,8 @@ impl Mesh {
     ///
     /// As [`Mesh::route_yx`].
     pub fn route_yx_into(&self, src: Coord, dst: Coord, out: &mut Path) {
-        self.route_dim_ordered_into(src, dst, DimOrder::YThenX, out);
+        self.topo
+            .route_dim_ordered_into(src, dst, DimOrder::YThenX, out);
     }
 
     fn claim_route_dim_ordered_into(
@@ -371,7 +326,7 @@ impl Mesh {
         assert_ne!(owner, FREE, "ClaimId::MAX is reserved");
         // Pass 1: availability check in place, touching nothing.
         let mut last: Option<Coord> = None;
-        let free = Self::walk_dim_ordered(src, dst, order, |c| {
+        let free = Topology::walk_dim_ordered(src, dst, order, |c| {
             let node_owner = self.nodes[self.node_index(c)];
             if node_owner != FREE && node_owner != owner {
                 return false;
@@ -392,7 +347,7 @@ impl Mesh {
         let nodes_out = out.nodes_mut();
         nodes_out.clear();
         let mut last: Option<Coord> = None;
-        Self::walk_dim_ordered(src, dst, order, |c| {
+        Topology::walk_dim_ordered(src, dst, order, |c| {
             let i = self.node_index(c);
             self.nodes[i] = owner;
             if let Some(prev) = last {
@@ -518,16 +473,16 @@ impl Mesh {
         }
         // BFS over free links/nodes; deterministic neighbor order
         // (east, west, south, north) keeps results reproducible.
-        let n = (self.width * self.height) as usize;
-        scratch.begin(n);
+        let (width, height) = (self.width(), self.height());
+        scratch.begin(self.topo.num_nodes());
         let stamp = scratch.stamp;
         scratch.seen[self.node_index(src)] = stamp;
         scratch.queue.push_back(src);
         'bfs: while let Some(cur) = scratch.queue.pop_front() {
             let neighbors = [
-                (cur.x + 1 < self.width).then(|| Coord::new(cur.x + 1, cur.y)),
+                (cur.x + 1 < width).then(|| Coord::new(cur.x + 1, cur.y)),
                 (cur.x > 0).then(|| Coord::new(cur.x - 1, cur.y)),
-                (cur.y + 1 < self.height).then(|| Coord::new(cur.x, cur.y + 1)),
+                (cur.y + 1 < height).then(|| Coord::new(cur.x, cur.y + 1)),
                 (cur.y > 0).then(|| Coord::new(cur.x, cur.y - 1)),
             ];
             for next in neighbors.into_iter().flatten() {
@@ -556,7 +511,7 @@ impl Mesh {
         let mut cur = dst;
         while cur != src {
             let p = scratch.prev[self.node_index(cur)];
-            cur = Coord::new(p % self.width, p / self.width);
+            cur = Coord::new(p % width, p / width);
             nodes.push(cur);
         }
         nodes.reverse();
@@ -869,6 +824,28 @@ mod tests {
             &mut scratch,
             &mut out
         ));
+    }
+
+    #[test]
+    fn node_blocked_tracks_claims() {
+        let mut m = Mesh::new(4, 4);
+        let p = m.route_xy(Coord::new(0, 0), Coord::new(2, 0));
+        assert!(!m.node_blocked(Coord::new(1, 0), 7));
+        assert!(m.try_claim(&p, 7));
+        // Blocked for everyone but the owner.
+        assert!(m.node_blocked(Coord::new(1, 0), 8));
+        assert!(!m.node_blocked(Coord::new(1, 0), 7));
+        assert!(!m.node_blocked(Coord::new(3, 3), 8));
+        m.release(&p, 7);
+        assert!(!m.node_blocked(Coord::new(1, 0), 8));
+    }
+
+    #[test]
+    fn topology_accessor_matches_dimensions() {
+        let m = Mesh::new(6, 4);
+        let t = m.topology();
+        assert_eq!((t.width(), t.height()), (6, 4));
+        assert_eq!(t.num_links(), m.num_links());
     }
 
     #[test]

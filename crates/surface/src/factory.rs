@@ -94,6 +94,37 @@ impl FactoryConfig {
     }
 }
 
+/// Evenly spreads `count` factory sites along the top and bottom rows
+/// of a `width x height` grid — the edge factory placement of Figure 3b
+/// ("dedicated factories supply magic states to surrounding tiles").
+/// Returns `(x, y)` grid positions sorted and deduplicated, so fewer
+/// sites than requested may come back on narrow grids.
+///
+/// Both communication backends place their ancilla factories with this
+/// one rule: the braid scheduler positions magic-state factories on its
+/// doubled router mesh, and the teleport pipeline positions EPR
+/// factories on the tile grid.
+///
+/// # Panics
+///
+/// Panics if either grid dimension is zero.
+pub fn edge_factory_sites(width: u32, height: u32, count: u32) -> Vec<(u32, u32)> {
+    assert!(width > 0 && height > 0, "grid dimensions must be positive");
+    let mut sites = Vec::new();
+    let top = count.div_ceil(2);
+    let bottom = count - top;
+    for (row, n) in [(0u32, top), (height - 1, bottom)] {
+        for i in 0..n {
+            let x =
+                ((2 * u64::from(i) + 1) * u64::from(width - 1) / (2 * u64::from(n).max(1))) as u32;
+            sites.push((x, row));
+        }
+    }
+    sites.sort_unstable();
+    sites.dedup();
+    sites
+}
+
 impl fmt::Display for FactoryProvision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -151,6 +182,25 @@ mod tests {
         let fast = cfg.magic_supply_rounds(1000, 10);
         assert!((slow / fast - 10.0).abs() < 1e-9);
         assert_eq!(cfg.magic_supply_rounds(0, 5), 0.0);
+    }
+
+    #[test]
+    fn edge_sites_stay_on_edge_rows() {
+        let sites = edge_factory_sites(21, 21, 10);
+        assert!(!sites.is_empty());
+        for &(x, y) in &sites {
+            assert!(y == 0 || y == 20, "site ({x}, {y}) not on an edge row");
+            assert!(x < 21);
+        }
+        // Sorted and unique.
+        assert!(sites.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn edge_sites_handle_tiny_counts() {
+        assert_eq!(edge_factory_sites(5, 5, 1).len(), 1);
+        assert!(!edge_factory_sites(5, 5, 2).is_empty());
+        assert!(edge_factory_sites(1, 1, 4).len() <= 1);
     }
 
     #[test]

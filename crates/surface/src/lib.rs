@@ -46,6 +46,6 @@ mod tile;
 
 pub use comm::{comm_tradeoff_table, CommMethod, CostLevel};
 pub use distance::{CodeDistanceModel, ThresholdExceeded};
-pub use factory::{FactoryConfig, FactoryProvision};
+pub use factory::{edge_factory_sites, FactoryConfig, FactoryProvision};
 pub use technology::Technology;
 pub use tile::{Encoding, TileGeometry};

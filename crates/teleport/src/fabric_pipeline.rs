@@ -1,0 +1,341 @@
+//! Route-aware EPR distribution: halves in flight on the real fabric.
+//!
+//! The flow-level pipeline ([`simulate_epr_distribution`]) prices an
+//! EPR half's journey as `distance x hop_cycles` — links never
+//! saturate, so congestion is invisible. This module replaces the
+//! journey with a real one: each half is injected into the
+//! [`scq_mesh::Fabric`] and traverses its dimension-ordered route hop
+//! by hop, queueing FIFO at links whose swap lanes
+//! ([`FabricEprConfig::link_capacity`]) are all busy.
+//!
+//! The split of responsibilities mirrors how the compiled machine
+//! works:
+//!
+//! 1. **Planning** (compile time, flow level): launch times come from
+//!    the same just-in-time recurrence as the legacy model — ideal use
+//!    time, lookahead window, global swap-lane bandwidth — computed
+//!    against *uncontended* travel estimates, because that is all a
+//!    static scheduler can know.
+//! 2. **Transit** (machine time, cycle level): every half physically
+//!    traverses the fabric; saturated links delay it past its estimate.
+//! 3. **Accounting**: teleports consume arrival *events*; each late
+//!    arrival stalls its teleport and slips the schedule, exactly as in
+//!    the legacy recurrence but with measured arrivals.
+//!
+//! Under unlimited link capacity measured arrivals equal the estimates,
+//! so this simulator reproduces the legacy flow model *bit for bit* —
+//! the differential oracle the proptest suite enforces. Under finite
+//! capacity the gap between the two is precisely the contention the
+//! paper's planar numbers were missing.
+
+use scq_mesh::{Coord, Fabric, FabricConfig, Path, Topology};
+
+use crate::pipeline::{
+    account_arrivals, check_epr_inputs, plan_launches, DistributionPolicy, EprConfig,
+    EprPipelineResult,
+};
+
+/// One teleport's communication demand, located on the machine: an EPR
+/// half must travel from `src` (a factory tile) to `dst` (the consuming
+/// data tile) by its ideal use time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EprRequest {
+    /// Ideal timestep at which the teleport wants to fire.
+    pub time: u64,
+    /// Factory tile producing the pair.
+    pub src: Coord,
+    /// Data tile consuming it.
+    pub dst: Coord,
+}
+
+/// Parameters of the route-aware EPR fabric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FabricEprConfig {
+    /// Flow-level knobs (hop latency, global bandwidth, window slack).
+    pub epr: EprConfig,
+    /// Swap lanes per link — EPR halves concurrently crossing one tile
+    /// boundary. [`scq_mesh::FabricConfig::UNLIMITED`] disables
+    /// contention, collapsing the fabric onto the flow model.
+    pub link_capacity: u32,
+}
+
+impl Default for FabricEprConfig {
+    /// Flow defaults with four swap lanes per tile boundary.
+    fn default() -> Self {
+        FabricEprConfig {
+            epr: EprConfig::default(),
+            link_capacity: 4,
+        }
+    }
+}
+
+impl FabricEprConfig {
+    /// A contention-free fabric over the given flow-level knobs — the
+    /// differential-oracle configuration.
+    pub fn unlimited(epr: EprConfig) -> Self {
+        FabricEprConfig {
+            epr,
+            link_capacity: FabricConfig::UNLIMITED,
+        }
+    }
+}
+
+/// Result of one route-aware distribution run: the flow-comparable
+/// pipeline metrics plus what only the fabric can measure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FabricEprResult {
+    /// The §8.1 metrics, computed from *measured* arrivals.
+    pub pipeline: EprPipelineResult,
+    /// Total cycles EPR halves spent queued at saturated links.
+    pub link_stall_cycles: u64,
+    /// Peak simultaneously in-flight halves on the fabric.
+    pub peak_in_flight: usize,
+    /// Busy-cycles on the hottest link (congestion hot spot).
+    pub hottest_link_busy_cycles: u64,
+    /// Total route hops over all halves.
+    pub total_route_hops: u64,
+}
+
+impl FabricEprResult {
+    /// Fractional latency added by the schedule versus the ideal
+    /// timeline (see [`EprPipelineResult::latency_overhead`]).
+    pub fn latency_overhead(&self) -> f64 {
+        self.pipeline.latency_overhead()
+    }
+}
+
+/// Simulates route-aware EPR distribution for a located demand trace on
+/// a `topology`-shaped machine. See the [module docs](self) for the
+/// three-phase model.
+///
+/// # Panics
+///
+/// Panics if demands are unsorted by time, any endpoint is off the
+/// topology, the hop latency, bandwidth, or link capacity is zero, or
+/// a `JustInTime` window is zero.
+pub fn simulate_epr_on_fabric(
+    requests: &[EprRequest],
+    policy: DistributionPolicy,
+    config: &FabricEprConfig,
+    topology: Topology,
+) -> FabricEprResult {
+    let times: Vec<u64> = requests.iter().map(|r| r.time).collect();
+    check_epr_inputs(&times, policy, config.epr.bandwidth);
+
+    // Phase 1: plan launches at the flow level (uncontended estimates).
+    let routes: Vec<Path> = requests
+        .iter()
+        .map(|r| topology.route_xy(r.src, r.dst))
+        .collect();
+    let total_route_hops: u64 = routes.iter().map(|r| r.len_hops() as u64).sum();
+    let timed: Vec<(u64, u64)> = requests
+        .iter()
+        .zip(&routes)
+        .map(|(r, route)| (r.time, route.len_hops() as u64 * config.epr.hop_cycles))
+        .collect();
+    let plan = plan_launches(
+        &timed,
+        policy,
+        config.epr.bandwidth,
+        config.epr.lead_slack_cycles,
+    );
+
+    // Phase 2: fly every half through the fabric.
+    let mut fabric = Fabric::new(
+        topology,
+        FabricConfig {
+            hop_cycles: config.epr.hop_cycles,
+            link_capacity: config.link_capacity,
+        },
+    );
+    let ids: Vec<_> = routes
+        .into_iter()
+        .zip(&plan)
+        .map(|(route, &(launch, _))| fabric.inject(route, launch))
+        .collect();
+    fabric.run_to_completion();
+
+    // Phase 3: teleports consume the measured arrival events.
+    let measured: Vec<(u64, u64)> = ids
+        .iter()
+        .zip(&plan)
+        .map(|(&id, &(launch, _))| {
+            (
+                launch,
+                fabric
+                    .arrival_time(id)
+                    .expect("drained fabric delivered every half"),
+            )
+        })
+        .collect();
+    let pipeline = account_arrivals(&times, &measured, config.epr.teleport_cycles);
+
+    let stats = fabric.stats();
+    FabricEprResult {
+        pipeline,
+        link_stall_cycles: stats.link_stall_cycles,
+        peak_in_flight: stats.peak_in_flight,
+        hottest_link_busy_cycles: fabric.hottest_link_busy_cycles(),
+        total_route_hops,
+    }
+}
+
+/// Sweeps lookahead windows on the fabric, returning `(window, result)`
+/// pairs — the route-aware counterpart of
+/// [`window_sweep`](crate::window_sweep).
+pub fn window_sweep_fabric(
+    requests: &[EprRequest],
+    windows: &[usize],
+    config: &FabricEprConfig,
+    topology: Topology,
+) -> Vec<(usize, FabricEprResult)> {
+    windows
+        .iter()
+        .map(|&w| {
+            (
+                w,
+                simulate_epr_on_fabric(
+                    requests,
+                    DistributionPolicy::JustInTime { window: w },
+                    config,
+                    topology,
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{simulate_epr_distribution, EprDemand};
+
+    /// Requests along disjoint rows with the given hop distances.
+    fn row_requests(times_distances: &[(u64, u32)], topo: Topology) -> Vec<EprRequest> {
+        times_distances
+            .iter()
+            .enumerate()
+            .map(|(i, &(time, d))| EprRequest {
+                time,
+                src: Coord::new(0, i as u32 % topo.height()),
+                dst: Coord::new(d, i as u32 % topo.height()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unlimited_fabric_matches_flow_oracle() {
+        let topo = Topology::new(16, 4);
+        let trace: Vec<(u64, u32)> = (0..60).map(|i| (30 + i * 2, 3 + (i as u32 % 9))).collect();
+        let requests = row_requests(&trace, topo);
+        let demands: Vec<EprDemand> = trace
+            .iter()
+            .map(|&(time, distance)| EprDemand { time, distance })
+            .collect();
+        let epr = EprConfig::default();
+        for policy in [
+            DistributionPolicy::EagerPrefetch,
+            DistributionPolicy::JustInTime { window: 1 },
+            DistributionPolicy::JustInTime { window: 8 },
+            DistributionPolicy::JustInTime { window: 64 },
+        ] {
+            let flow = simulate_epr_distribution(&demands, policy, &epr);
+            let fabric =
+                simulate_epr_on_fabric(&requests, policy, &FabricEprConfig::unlimited(epr), topo);
+            assert_eq!(fabric.pipeline, flow, "{policy:?}");
+            assert_eq!(fabric.link_stall_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn saturated_link_adds_measurable_latency() {
+        let topo = Topology::new(10, 1);
+        // Every request crosses the same 9-link row at once.
+        let requests: Vec<EprRequest> = (0..16)
+            .map(|_| EprRequest {
+                time: 40,
+                src: Coord::new(0, 0),
+                dst: Coord::new(9, 0),
+            })
+            .collect();
+        let epr = EprConfig::default();
+        let free = simulate_epr_on_fabric(
+            &requests,
+            DistributionPolicy::JustInTime { window: 64 },
+            &FabricEprConfig::unlimited(epr),
+            topo,
+        );
+        let tight = simulate_epr_on_fabric(
+            &requests,
+            DistributionPolicy::JustInTime { window: 64 },
+            &FabricEprConfig {
+                epr,
+                link_capacity: 1,
+            },
+            topo,
+        );
+        assert_eq!(free.link_stall_cycles, 0);
+        assert!(tight.link_stall_cycles > 0);
+        assert!(tight.pipeline.total_stall_cycles >= free.pipeline.total_stall_cycles);
+        assert!(tight.pipeline.makespan > free.pipeline.makespan);
+        assert!(tight.hottest_link_busy_cycles >= free.hottest_link_busy_cycles);
+    }
+
+    #[test]
+    fn zero_hop_requests_are_legal() {
+        let topo = Topology::new(4, 4);
+        let requests = [EprRequest {
+            time: 5,
+            src: Coord::new(2, 2),
+            dst: Coord::new(2, 2),
+        }];
+        let r = simulate_epr_on_fabric(
+            &requests,
+            DistributionPolicy::EagerPrefetch,
+            &FabricEprConfig::default(),
+            topo,
+        );
+        assert_eq!(r.total_route_hops, 0);
+        assert_eq!(r.pipeline.total_stall_cycles, 0);
+    }
+
+    #[test]
+    fn window_sweep_fabric_is_monotone_in_peak() {
+        let topo = Topology::new(12, 6);
+        let trace: Vec<(u64, u32)> = (0..80).map(|i| (20 + i, 4)).collect();
+        let requests = row_requests(&trace, topo);
+        let sweep = window_sweep_fabric(
+            &requests,
+            &[1, 4, 16, 64],
+            &FabricEprConfig::default(),
+            topo,
+        );
+        for w in sweep.windows(2) {
+            assert!(w[0].1.pipeline.peak_live_eprs <= w[1].1.pipeline.peak_live_eprs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn unsorted_requests_rejected() {
+        let topo = Topology::new(4, 4);
+        let requests = [
+            EprRequest {
+                time: 9,
+                src: Coord::new(0, 0),
+                dst: Coord::new(1, 0),
+            },
+            EprRequest {
+                time: 2,
+                src: Coord::new(0, 1),
+                dst: Coord::new(1, 1),
+            },
+        ];
+        let _ = simulate_epr_on_fabric(
+            &requests,
+            DistributionPolicy::EagerPrefetch,
+            &FabricEprConfig::default(),
+            topo,
+        );
+    }
+}

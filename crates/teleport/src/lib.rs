@@ -8,13 +8,18 @@
 //! prefetchable — the property that distinguishes planar from
 //! double-defect machines under congestion.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! - [`schedule_simd`]: the Multi-SIMD region scheduler (one gate type
 //!   per region per timestep, teleports on region changes),
-//! - [`simulate_epr_distribution`]: the just-in-time EPR pipeline of
-//!   Section 8.1 with its window/bandwidth tradeoffs,
-//! - [`schedule_planar`]: the combined machine timeline in EC cycles.
+//! - [`simulate_epr_on_fabric`]: the route-aware EPR pipeline — halves
+//!   fly real routes from factory tiles over the shared `scq-mesh`
+//!   fabric, with per-link swap-lane contention,
+//! - [`simulate_epr_distribution`]: the legacy flow-level pipeline of
+//!   Section 8.1, retained as the differential oracle the fabric must
+//!   match exactly under unlimited link capacity,
+//! - [`schedule_planar`]: the combined machine timeline in EC cycles,
+//!   with teleports consuming measured fabric arrival events.
 //!
 //! # Examples
 //!
@@ -38,13 +43,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fabric_pipeline;
 mod pipeline;
 mod planar;
 mod simd;
 
+pub use fabric_pipeline::{
+    simulate_epr_on_fabric, window_sweep_fabric, EprRequest, FabricEprConfig, FabricEprResult,
+};
 pub use pipeline::{
     simulate_epr_distribution, window_sweep, DistributionPolicy, EprConfig, EprDemand,
     EprPipelineResult,
 };
-pub use planar::{hop_cycles_for_distance, schedule_planar, PlanarConfig, PlanarSchedule};
+pub use planar::{
+    hop_cycles_for_distance, schedule_planar, PlanarConfig, PlanarMachine, PlanarSchedule,
+};
 pub use simd::{schedule_simd, SimdConfig, SimdSchedule};

@@ -97,45 +97,50 @@ impl EprPipelineResult {
     }
 }
 
-/// Simulates EPR distribution for a teleport demand trace.
-///
-/// Demands must be sorted by [`EprDemand::time`] (the natural order a
-/// schedule produces). Each stall pushes all later demands back, so the
-/// output `makespan` is a conservative (fully serialized slip) estimate.
+/// Validates the invariants both EPR simulators share.
 ///
 /// # Panics
 ///
-/// Panics if demands are unsorted, the bandwidth is zero, or a
+/// Panics if demand times are unsorted, the bandwidth is zero, or a
 /// `JustInTime` window is zero.
-pub fn simulate_epr_distribution(
-    demands: &[EprDemand],
-    policy: DistributionPolicy,
-    config: &EprConfig,
-) -> EprPipelineResult {
-    assert!(config.bandwidth > 0, "bandwidth must be positive");
+pub(crate) fn check_epr_inputs(times: &[u64], policy: DistributionPolicy, bandwidth: usize) {
+    assert!(bandwidth > 0, "bandwidth must be positive");
     assert!(
-        demands.windows(2).all(|w| w[0].time <= w[1].time),
+        times.windows(2).all(|w| w[0] <= w[1]),
         "demands must be sorted by time"
     );
     if let DistributionPolicy::JustInTime { window } = policy {
         assert!(window > 0, "lookahead window must be positive");
     }
+}
 
+/// Flow-level launch planning: the §8.1 recurrence deciding when each
+/// EPR pair is launched, given each demand's ideal use time and its
+/// *uncontended* travel time. Returns per-demand `(launch, predicted
+/// arrival)` pairs.
+///
+/// This is the planning half of the legacy flow model, factored out so
+/// the route-aware fabric simulator launches with exactly the same
+/// policy decisions: the just-in-time target, the lookahead-window gate
+/// (demand `j` may not launch before demand `j - window` was consumed),
+/// and the global swap-lane bandwidth cap all live here.
+pub(crate) fn plan_launches(
+    demands: &[(u64, u64)], // (ideal use time, uncontended travel cycles)
+    policy: DistributionPolicy,
+    bandwidth: usize,
+    lead_slack_cycles: u64,
+) -> Vec<(u64, u64)> {
     let mut slip: u64 = 0;
     let mut in_flight: BinaryHeap<Reverse<u64>> = BinaryHeap::new(); // arrival times
     let mut consume_times: Vec<u64> = Vec::with_capacity(demands.len());
-    let mut live_events: Vec<(u64, i64)> = Vec::with_capacity(2 * demands.len());
-    let mut total_stall = 0u64;
-    let mut last_consume = 0u64;
-    let mut ideal_last = 0u64;
+    let mut plan: Vec<(u64, u64)> = Vec::with_capacity(demands.len());
 
-    for (j, d) in demands.iter().enumerate() {
-        let need = d.time + slip;
-        let travel = u64::from(d.distance) * config.hop_cycles;
+    for (j, &(time, travel)) in demands.iter().enumerate() {
+        let need = time + slip;
         let target = match policy {
             DistributionPolicy::EagerPrefetch => 0,
             DistributionPolicy::JustInTime { .. } => {
-                need.saturating_sub(travel + config.lead_slack_cycles)
+                need.saturating_sub(travel + lead_slack_cycles)
             }
         };
         // Window constraint: demand j may not launch before demand
@@ -154,7 +159,7 @@ pub fn simulate_epr_distribution(
                     break;
                 }
             }
-            if in_flight.len() < config.bandwidth {
+            if in_flight.len() < bandwidth {
                 break;
             }
             let Some(&Reverse(earliest)) = in_flight.peek() else {
@@ -166,14 +171,40 @@ pub fn simulate_epr_distribution(
         in_flight.push(Reverse(arrive));
 
         let stall = arrive.saturating_sub(need);
+        slip += stall;
+        consume_times.push(need + stall); // = max(need, arrive)
+        plan.push((launch, arrive));
+    }
+    plan
+}
+
+/// Accounting half of the EPR pipeline: given each demand's ideal use
+/// time, its launch time, and its (predicted or measured) arrival time,
+/// runs the serialized-slip consume recurrence and sweeps the two §8.1
+/// metrics. Fed predicted arrivals this reproduces the legacy flow
+/// model; fed measured fabric arrivals it prices real link contention.
+pub(crate) fn account_arrivals(
+    times: &[u64],
+    launches_arrivals: &[(u64, u64)],
+    teleport_cycles: u64,
+) -> EprPipelineResult {
+    debug_assert_eq!(times.len(), launches_arrivals.len());
+    let mut slip: u64 = 0;
+    let mut total_stall = 0u64;
+    let mut last_consume = 0u64;
+    let mut ideal_last = 0u64;
+    let mut live_events: Vec<(u64, i64)> = Vec::with_capacity(2 * times.len());
+
+    for (&time, &(launch, arrive)) in times.iter().zip(launches_arrivals) {
+        let need = time + slip;
+        let stall = arrive.saturating_sub(need);
         total_stall += stall;
         slip += stall;
         let consume = need + stall; // = max(need, arrive)
-        consume_times.push(consume);
         live_events.push((launch, 1));
         live_events.push((consume, -1));
-        last_consume = last_consume.max(consume + config.teleport_cycles);
-        ideal_last = ideal_last.max(d.time + config.teleport_cycles);
+        last_consume = last_consume.max(consume + teleport_cycles);
+        ideal_last = ideal_last.max(time + teleport_cycles);
     }
 
     // Sweep for peak live EPR pairs (consume before launch at equal
@@ -191,8 +222,38 @@ pub fn simulate_epr_distribution(
         ideal_makespan: ideal_last,
         peak_live_eprs: peak as usize,
         total_stall_cycles: total_stall,
-        teleports: demands.len(),
+        teleports: times.len(),
     }
+}
+
+/// Simulates EPR distribution for a teleport demand trace at the flow
+/// level: arrivals are the analytic `launch + distance x hop` — no link
+/// ever saturates. Retained as the differential oracle for the
+/// route-aware fabric simulator
+/// ([`simulate_epr_on_fabric`](crate::simulate_epr_on_fabric)), which
+/// must reproduce these numbers exactly under unlimited link capacity.
+///
+/// Demands must be sorted by [`EprDemand::time`] (the natural order a
+/// schedule produces). Each stall pushes all later demands back, so the
+/// output `makespan` is a conservative (fully serialized slip) estimate.
+///
+/// # Panics
+///
+/// Panics if demands are unsorted, the bandwidth is zero, or a
+/// `JustInTime` window is zero.
+pub fn simulate_epr_distribution(
+    demands: &[EprDemand],
+    policy: DistributionPolicy,
+    config: &EprConfig,
+) -> EprPipelineResult {
+    let times: Vec<u64> = demands.iter().map(|d| d.time).collect();
+    check_epr_inputs(&times, policy, config.bandwidth);
+    let timed: Vec<(u64, u64)> = demands
+        .iter()
+        .map(|d| (d.time, u64::from(d.distance) * config.hop_cycles))
+        .collect();
+    let plan = plan_launches(&timed, policy, config.bandwidth, config.lead_slack_cycles);
+    account_arrivals(&times, &plan, config.teleport_cycles)
 }
 
 /// Sweeps lookahead windows and returns `(window, result)` pairs — the

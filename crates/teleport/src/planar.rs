@@ -1,14 +1,25 @@
-//! End-to-end planar (Multi-SIMD) machine scheduling.
+//! End-to-end planar (Multi-SIMD) machine scheduling, route-aware.
 //!
-//! Combines the SIMD region schedule with the EPR distribution pipeline
+//! Combines the SIMD region schedule with the route-aware EPR fabric
 //! into a single planar-machine timeline, measured in error-correction
 //! cycles so results compare directly against the braid scheduler.
+//!
+//! The machine is laid out as a near-square block of data tiles with a
+//! row of EPR factory tiles above and below (the Figure 3b edge
+//! placement, sited by [`scq_surface::edge_factory_sites`]). Every
+//! teleport demand becomes a located [`EprRequest`]: an EPR half
+//! launched from the nearest factory tile and routed over the fabric to
+//! the consuming data tile, so the planar numbers carry real link
+//! contention instead of a scalar mean-distance estimate.
 
 use scq_ir::{Circuit, DependencyDag};
+use scq_mesh::{Coord, Topology};
+use scq_surface::{edge_factory_sites, FactoryConfig};
 
-use crate::pipeline::{
-    simulate_epr_distribution, DistributionPolicy, EprConfig, EprDemand, EprPipelineResult,
+use crate::fabric_pipeline::{
+    simulate_epr_on_fabric, EprRequest, FabricEprConfig, FabricEprResult,
 };
+use crate::pipeline::{DistributionPolicy, EprConfig, EprPipelineResult};
 use crate::simd::{schedule_simd, SimdConfig, SimdSchedule};
 
 /// Configuration of a planar-machine scheduling run.
@@ -25,9 +36,14 @@ pub struct PlanarConfig {
     pub policy: DistributionPolicy,
     /// Surface code distance (sets tile width, hence swap-chain length).
     pub code_distance: u32,
-    /// Mean teleport distance in tiles; `None` derives half the machine
-    /// width from the circuit's qubit count.
-    pub mean_distance_tiles: Option<u32>,
+    /// Swap lanes per tile boundary — how many EPR halves may cross one
+    /// link concurrently. [`scq_mesh::FabricConfig::UNLIMITED`]
+    /// recovers the contention-free flow model.
+    pub link_capacity: u32,
+    /// Number of EPR factory tiles; `None` provisions them from
+    /// [`FactoryConfig`] (at least two, split over the top and bottom
+    /// edge rows).
+    pub epr_factories: Option<u32>,
 }
 
 impl Default for PlanarConfig {
@@ -37,7 +53,8 @@ impl Default for PlanarConfig {
             epr: EprConfig::default(),
             policy: DistributionPolicy::JustInTime { window: 64 },
             code_distance: 9,
-            mean_distance_tiles: None,
+            link_capacity: 4,
+            epr_factories: None,
         }
     }
 }
@@ -47,6 +64,78 @@ impl Default for PlanarConfig {
 /// steps), at 8 physical steps per EC cycle.
 pub fn hop_cycles_for_distance(code_distance: u32) -> u64 {
     (3 * u64::from(2 * code_distance - 1)).div_ceil(8).max(1)
+}
+
+/// The planar machine floorplan for a circuit: a near-square block of
+/// data tiles flanked by a factory row above and below.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanarMachine {
+    /// The tile grid the EPR fabric runs on (data rows plus the two
+    /// factory rows).
+    pub topology: Topology,
+    /// Data tile of each qubit, indexed by qubit id.
+    pub tiles: Vec<Coord>,
+    /// EPR factory tiles on the edge rows.
+    pub factories: Vec<Coord>,
+}
+
+impl PlanarMachine {
+    /// Lays out `num_qubits` data tiles row-major in a near-square
+    /// block, with `epr_factories` (or a [`FactoryConfig`] provision)
+    /// factory tiles on the surrounding edge rows.
+    pub fn new(num_qubits: u32, epr_factories: Option<u32>) -> Self {
+        let n = num_qubits.max(1);
+        let grid_w = (f64::from(n)).sqrt().ceil() as u32;
+        let grid_w = grid_w.max(1);
+        let grid_h = n.div_ceil(grid_w);
+        // Factory rows sit above and below the data block.
+        let topology = Topology::new(grid_w, grid_h + 2);
+        let tiles: Vec<Coord> = (0..num_qubits)
+            .map(|q| Coord::new(q % grid_w, 1 + q / grid_w))
+            .collect();
+        let count = epr_factories.unwrap_or_else(|| {
+            FactoryConfig::default()
+                .provision(u64::from(n), true)
+                .epr_factories
+                .max(2)
+        });
+        let factories = edge_factory_sites(grid_w, grid_h + 2, count.max(1))
+            .into_iter()
+            .map(|(x, y)| Coord::new(x, y))
+            .collect();
+        PlanarMachine {
+            topology,
+            tiles,
+            factories,
+        }
+    }
+
+    /// The factory tile nearest to `dst` (ties break on the lowest
+    /// factory index, keeping request generation deterministic).
+    pub fn nearest_factory(&self, dst: Coord) -> Coord {
+        *self
+            .factories
+            .iter()
+            .min_by_key(|f| f.manhattan(dst))
+            .expect("machines always have at least one factory")
+    }
+
+    /// Builds the located demand trace for a SIMD schedule: one
+    /// [`EprRequest`] per teleport, sourced at the nearest factory.
+    pub fn requests_for(&self, simd: &SimdSchedule) -> Vec<EprRequest> {
+        simd.teleport_times
+            .iter()
+            .zip(&simd.teleport_qubits)
+            .map(|(&time, &q)| {
+                let dst = self.tiles[q as usize];
+                EprRequest {
+                    time,
+                    src: self.nearest_factory(dst),
+                    dst,
+                }
+            })
+            .collect()
+    }
 }
 
 /// Result of scheduling a circuit on the planar architecture.
@@ -59,8 +148,14 @@ pub struct PlanarSchedule {
     pub timesteps: u64,
     /// The SIMD schedule that produced the demand trace.
     pub simd: SimdSchedule,
-    /// The EPR pipeline outcome.
+    /// The EPR pipeline outcome (measured arrivals).
     pub epr: EprPipelineResult,
+    /// Cycles EPR halves spent queued at saturated links.
+    pub link_stall_cycles: u64,
+    /// Peak simultaneously in-flight EPR halves on the fabric.
+    pub peak_in_flight_eprs: usize,
+    /// Busy-cycles on the hottest fabric link.
+    pub hottest_link_busy_cycles: u64,
 }
 
 impl PlanarSchedule {
@@ -76,51 +171,55 @@ impl PlanarSchedule {
 
 /// Schedules `circuit` on the Multi-SIMD planar architecture.
 ///
-/// The SIMD scheduler produces logical timesteps and a teleport demand
-/// trace; the EPR pipeline simulates distributing pairs for that trace.
-/// The returned cycle count is the EPR-aware makespan (never less than
-/// the SIMD timestep count).
+/// The SIMD scheduler produces logical timesteps and a located teleport
+/// demand trace; the route-aware fabric flies each EPR half from its
+/// factory tile to its consuming tile, and teleports consume the
+/// arrival events. The returned cycle count is the EPR-aware makespan
+/// (never less than the SIMD timestep count).
 ///
 /// # Panics
 ///
-/// Panics if `dag` was not built from `circuit`.
+/// Panics if `dag` was not built from `circuit`, or if the fabric
+/// parameters are degenerate (`epr.hop_cycles`, `epr.bandwidth`,
+/// `link_capacity`, or a `JustInTime` window of zero).
 pub fn schedule_planar(
     circuit: &Circuit,
     dag: &DependencyDag,
     config: &PlanarConfig,
 ) -> PlanarSchedule {
     let simd = schedule_simd(circuit, dag, &config.simd);
-    let mean_distance = config.mean_distance_tiles.unwrap_or_else(|| {
-        // Half the machine width: E[manhattan] between uniform points on
-        // a w x w grid is ~2w/3; half-width is the conventional shorthand.
-        let w = (f64::from(circuit.num_qubits().max(1))).sqrt().ceil() as u32;
-        (w / 2).max(1)
-    });
-    let epr_config = EprConfig {
-        hop_cycles: config.epr.hop_cycles * hop_cycles_for_distance(config.code_distance),
-        ..config.epr
+    let machine = PlanarMachine::new(circuit.num_qubits(), config.epr_factories);
+    let requests = machine.requests_for(&simd);
+    let fabric_config = FabricEprConfig {
+        epr: EprConfig {
+            hop_cycles: config.epr.hop_cycles * hop_cycles_for_distance(config.code_distance),
+            ..config.epr
+        },
+        link_capacity: config.link_capacity,
     };
-    let demands: Vec<EprDemand> = simd
-        .teleport_times
-        .iter()
-        .map(|&t| EprDemand {
-            time: t,
-            distance: mean_distance,
-        })
-        .collect();
-    let epr = simulate_epr_distribution(&demands, config.policy, &epr_config);
+    let FabricEprResult {
+        pipeline: epr,
+        link_stall_cycles,
+        peak_in_flight,
+        hottest_link_busy_cycles,
+        ..
+    } = simulate_epr_on_fabric(&requests, config.policy, &fabric_config, machine.topology);
     let cycles = simd.timesteps.max(epr.makespan);
     PlanarSchedule {
         cycles,
         timesteps: simd.timesteps,
         simd,
         epr,
+        link_stall_cycles,
+        peak_in_flight_eprs: peak_in_flight,
+        hottest_link_busy_cycles,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scq_mesh::FabricConfig;
 
     fn run(circuit: &Circuit, config: &PlanarConfig) -> PlanarSchedule {
         let dag = DependencyDag::from_circuit(circuit);
@@ -152,6 +251,25 @@ mod tests {
     }
 
     #[test]
+    fn machine_floorplan_is_well_formed() {
+        let m = PlanarMachine::new(30, None);
+        // 6x5 data block plus two factory rows.
+        assert_eq!(m.topology.width(), 6);
+        assert_eq!(m.topology.height(), 7);
+        assert_eq!(m.tiles.len(), 30);
+        for t in &m.tiles {
+            assert!(t.y >= 1 && t.y <= 5, "data tile {t} in a factory row");
+        }
+        assert!(!m.factories.is_empty());
+        for f in &m.factories {
+            assert!(f.y == 0 || f.y == 6, "factory {f} off the edge rows");
+        }
+        // Nearest-factory is deterministic and actually a factory.
+        let f = m.nearest_factory(m.tiles[7]);
+        assert!(m.factories.contains(&f));
+    }
+
+    #[test]
     fn cycles_at_least_timesteps() {
         let c = mixed_circuit(16, 4);
         let s = run(&c, &PlanarConfig::default());
@@ -165,6 +283,7 @@ mod tests {
         let s = run(&c, &PlanarConfig::default());
         assert_eq!(s.cycles, 0);
         assert_eq!(s.schedule_to_cp_ratio(), 1.0);
+        assert_eq!(s.link_stall_cycles, 0);
     }
 
     #[test]
@@ -182,26 +301,27 @@ mod tests {
     }
 
     #[test]
-    fn larger_distance_means_more_stalls_under_tiny_window() {
+    fn constrained_links_add_measured_contention() {
         let c = mixed_circuit(32, 6);
-        let near = run(
+        let free = run(
             &c,
             &PlanarConfig {
-                policy: DistributionPolicy::JustInTime { window: 1 },
-                mean_distance_tiles: Some(1),
+                link_capacity: FabricConfig::UNLIMITED,
                 ..Default::default()
             },
         );
-        let far = run(
+        let tight = run(
             &c,
             &PlanarConfig {
-                policy: DistributionPolicy::JustInTime { window: 1 },
-                mean_distance_tiles: Some(30),
+                link_capacity: 1,
+                epr_factories: Some(2),
                 ..Default::default()
             },
         );
-        assert!(far.epr.total_stall_cycles > near.epr.total_stall_cycles);
-        assert!(far.cycles > near.cycles);
+        assert_eq!(free.link_stall_cycles, 0);
+        assert!(tight.link_stall_cycles > 0, "no contention measured");
+        assert!(tight.cycles >= free.cycles);
+        assert!(tight.epr.total_stall_cycles >= free.epr.total_stall_cycles);
     }
 
     #[test]

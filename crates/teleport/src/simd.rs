@@ -50,6 +50,11 @@ pub struct SimdSchedule {
     /// For each teleport, the timestep at which it is needed — the
     /// demand trace consumed by the EPR distribution pipeline.
     pub teleport_times: Vec<u64>,
+    /// For each teleport (aligned with [`SimdSchedule::teleport_times`]),
+    /// the data qubit it serves — what lets the route-aware pipeline
+    /// place the demand on the machine and route the EPR half to the
+    /// consuming tile.
+    pub teleport_qubits: Vec<u32>,
 }
 
 impl SimdSchedule {
@@ -92,6 +97,7 @@ pub fn schedule_simd(circuit: &Circuit, dag: &DependencyDag, config: &SimdConfig
     let mut teleports = 0u64;
     let mut magic_teleports = 0u64;
     let mut teleport_times = Vec::new();
+    let mut teleport_qubits = Vec::new();
 
     // Location of each qubit: None = memory region, Some(r) = region r.
     let mut location: Vec<Option<u32>> = vec![None; circuit.num_qubits() as usize];
@@ -120,12 +126,14 @@ pub fn schedule_simd(circuit: &Circuit, dag: &DependencyDag, config: &SimdConfig
                     if *loc != Some(region) {
                         teleports += 1;
                         teleport_times.push(timestep);
+                        teleport_qubits.push(q.raw());
                         *loc = Some(region);
                     }
                 }
                 if gate.needs_magic_state() {
                     magic_teleports += 1;
                     teleport_times.push(timestep);
+                    teleport_qubits.push(circuit.instructions()[op].qubits()[0].raw());
                 }
                 issued.push(op);
             }
@@ -161,6 +169,7 @@ pub fn schedule_simd(circuit: &Circuit, dag: &DependencyDag, config: &SimdConfig
         teleports,
         magic_teleports,
         teleport_times,
+        teleport_qubits,
     }
 }
 
@@ -271,6 +280,17 @@ mod tests {
             assert!(w[0] <= w[1]);
         }
         assert!(s.teleport_times.iter().all(|&t| t >= 1 && t <= s.timesteps));
+    }
+
+    #[test]
+    fn teleport_qubits_align_with_times() {
+        let mut b = Circuit::builder("mix", 6);
+        for i in 0..5u32 {
+            b.cnot(i, i + 1).t(i);
+        }
+        let s = schedule(&b.finish(), &SimdConfig::default());
+        assert_eq!(s.teleport_qubits.len(), s.teleport_times.len());
+        assert!(s.teleport_qubits.iter().all(|&q| q < 6));
     }
 
     #[test]
