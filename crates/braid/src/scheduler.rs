@@ -377,17 +377,32 @@ impl Engine {
         // path (into a pooled buffer) on success.
         let attempts = self.fail_count[op];
         let owner = op as u32;
-        // Claim-walk pruning: every route contains its endpoints, so a
-        // foreign claim on either endpoint router dooms this attempt
-        // under all three routing modes (XY, YX, and adaptive) before
-        // any walk starts. The bookkeeping below is exactly that of a
+        // Claim-walk pruning via the mesh occupancy index: each routing
+        // mode has a conservative O(1)-ish probe (claimed endpoint,
+        // claimed router certainly on the dimension-ordered corridor,
+        // or a full-line separator / enclosed endpoint for adaptive)
+        // that proves the claim below must fail for an owner holding no
+        // mesh resources — which this op is: paths release before ops
+        // re-enter the ready sets. The bookkeeping is exactly that of a
         // walked-and-failed claim — adaptive attempts still count, the
         // failure counter still escalates — so schedules stay
         // bit-identical to the unpruned reference; only the
         // O(route length) walk is skipped. Under contention braids
-        // commonly cross foreign anchors, so this is the common case.
-        if self.mesh.node_blocked(src, owner) || self.mesh.node_blocked(dst, owner) {
-            if attempts > 2 * env.config.route_timeout {
+        // commonly cross foreign corridors, so this is the common case.
+        debug_assert!(
+            self.held_paths[op].is_none(),
+            "issuing op must hold no mesh resources"
+        );
+        let adaptive = attempts > 2 * env.config.route_timeout;
+        let certainly_blocked = if attempts <= env.config.route_timeout {
+            self.mesh.xy_certainly_blocked(src, dst)
+        } else if !adaptive {
+            self.mesh.yx_certainly_blocked(src, dst)
+        } else {
+            self.mesh.route_certainly_blocked(src, dst)
+        };
+        if certainly_blocked {
+            if adaptive {
                 self.stats.adaptive_routes += 1;
             }
             self.record_failed_attempt(op, env.config);
@@ -396,7 +411,7 @@ impl Engine {
         let mut path = self.path_pool.pop().unwrap_or_default();
         let claimed = if attempts <= env.config.route_timeout {
             self.mesh.claim_route_xy_into(src, dst, owner, &mut path)
-        } else if attempts <= 2 * env.config.route_timeout {
+        } else if !adaptive {
             self.mesh.claim_route_yx_into(src, dst, owner, &mut path)
         } else {
             self.stats.adaptive_routes += 1;
@@ -454,11 +469,15 @@ impl Engine {
 ///    failure) and adaptive attempts reuse one [`RouteScratch`];
 ///    successful routes land in pooled buffers that the sink returns on
 ///    release.
-/// 4. **Claim-walk pruning.** An attempt whose endpoint router is held
-///    by another braid is doomed under every routing mode (a route
-///    always contains its endpoints), so it fails in O(1) via
-///    [`Mesh::node_blocked`] with the exact bookkeeping of a walked
-///    failure — no walk, same schedule.
+/// 4. **Claim-walk pruning.** Before any walk, each attempt consults
+///    the mesh occupancy index's conservative congestion probe for its
+///    routing mode ([`Mesh::xy_certainly_blocked`] /
+///    [`Mesh::yx_certainly_blocked`] /
+///    [`Mesh::route_certainly_blocked`]): a claimed endpoint, a claimed
+///    router provably on the dimension-ordered corridor, or a full-line
+///    separator dooms the claim for an owner holding nothing — which an
+///    issuing op always is. Pruned attempts keep the exact bookkeeping
+///    of a walked failure — no walk, same schedule.
 ///
 /// # Errors
 ///

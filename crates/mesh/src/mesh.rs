@@ -26,8 +26,8 @@ pub struct RouteScratch {
     seen: Vec<u64>,
     /// Current search generation.
     stamp: u64,
-    /// BFS frontier.
-    queue: VecDeque<Coord>,
+    /// BFS frontier of flat node indices.
+    queue: VecDeque<u32>,
 }
 
 impl RouteScratch {
@@ -44,6 +44,64 @@ impl RouteScratch {
         }
         self.stamp += 1;
         self.queue.clear();
+    }
+}
+
+/// Claimed-interval summary of one router row or column.
+///
+/// Part of the mesh's occupancy index: every row and every column keeps
+/// the number of claimed routers on it and the interval `[min, max]`
+/// that bounds them. The summaries are updated incrementally on the
+/// claim and release paths and power the conservative
+/// `*_certainly_blocked` congestion probes.
+#[derive(Clone, Copy, Debug, Default)]
+struct LineSummary {
+    /// Claimed routers on this line.
+    count: u32,
+    /// Smallest claimed position along the line (valid when `count > 0`).
+    min: u32,
+    /// Largest claimed position along the line (valid when `count > 0`).
+    max: u32,
+}
+
+impl LineSummary {
+    /// `true` if the summary proves some claimed router lies in
+    /// `[lo, hi]` on a line of `len` routers. Never returns `true`
+    /// speculatively: a `false` only means the summary cannot tell.
+    fn certainly_claims_in(&self, lo: u32, hi: u32, len: u32) -> bool {
+        debug_assert!(
+            lo <= hi && hi < len,
+            "span [{lo}, {hi}] not on a line of {len}"
+        );
+        if self.count == 0 {
+            return false;
+        }
+        if (self.min >= lo && self.min <= hi) || (self.max >= lo && self.max <= hi) {
+            return true;
+        }
+        // Pigeonhole: more claimed routers than positions outside the
+        // span means at least one must sit inside it.
+        self.count > len - (hi - lo + 1)
+    }
+
+    /// Removes the claimed position `pos` from the summary. When `pos`
+    /// carried the line's `min` or `max`, the boundary walks inward via
+    /// `claimed_at` to the next claimed position — O(gap), and O(1)
+    /// amortized when a path's contiguous run is released node by node.
+    fn release(&mut self, pos: u32, claimed_at: impl Fn(u32) -> bool) {
+        self.count -= 1;
+        if self.count > 0 {
+            if pos == self.min {
+                self.min = (self.min + 1..=self.max)
+                    .find(|&p| claimed_at(p))
+                    .expect("count > 0");
+            } else if pos == self.max {
+                self.max = (self.min..self.max)
+                    .rev()
+                    .find(|&p| claimed_at(p))
+                    .expect("count > 0");
+            }
+        }
     }
 }
 
@@ -86,6 +144,12 @@ pub struct Mesh {
     /// Accumulated busy-link-cycles for utilization.
     busy_link_cycles: u64,
     ticks: u64,
+    /// Occupancy index: claimed-interval summary per router row
+    /// (indexed by `y`, positions along the line are `x`).
+    rows: Vec<LineSummary>,
+    /// Occupancy index: claimed-interval summary per router column
+    /// (indexed by `x`, positions along the line are `y`).
+    cols: Vec<LineSummary>,
 }
 
 impl Mesh {
@@ -104,6 +168,8 @@ impl Mesh {
             busy_links: 0,
             busy_link_cycles: 0,
             ticks: 0,
+            rows: vec![LineSummary::default(); topo.height() as usize],
+            cols: vec![LineSummary::default(); topo.width() as usize],
         }
     }
 
@@ -150,26 +216,6 @@ impl Mesh {
         self.topo.node_index(c)
     }
 
-    /// Returns `true` if the router at `c` is claimed by an owner other
-    /// than `owner` — in which case *every* route claim with `c` as an
-    /// endpoint (dimension-ordered or adaptive) is certain to fail,
-    /// since a route always contains its endpoints. This is the O(1)
-    /// pre-check the braid scheduler's claim-walk pruning relies on.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `c` is off the mesh.
-    pub fn node_blocked(&self, c: Coord, owner: ClaimId) -> bool {
-        assert!(
-            self.contains(c),
-            "node {c} outside {}x{} mesh",
-            self.width(),
-            self.height()
-        );
-        let o = self.nodes[self.node_index(c)];
-        o != FREE && o != owner
-    }
-
     fn link_slot(&mut self, a: Coord, b: Coord) -> &mut ClaimId {
         debug_assert!(a.is_adjacent(b), "link endpoints must be adjacent");
         if a.y == b.y {
@@ -189,6 +235,48 @@ impl Mesh {
         } else {
             self.v_links[self.v_index(a.x, a.y.min(b.y))]
         }
+    }
+
+    /// Marks node `c` claimed in place, updating the occupancy index.
+    /// Idempotent re-claims (node already owned) touch nothing.
+    fn set_node_claimed(&mut self, c: Coord, owner: ClaimId) {
+        let i = self.node_index(c);
+        if self.nodes[i] != FREE {
+            debug_assert_eq!(self.nodes[i], owner, "claim over a foreign node");
+            return;
+        }
+        self.nodes[i] = owner;
+        let row = &mut self.rows[c.y as usize];
+        if row.count == 0 {
+            (row.min, row.max) = (c.x, c.x);
+        } else {
+            row.min = row.min.min(c.x);
+            row.max = row.max.max(c.x);
+        }
+        row.count += 1;
+        let col = &mut self.cols[c.x as usize];
+        if col.count == 0 {
+            (col.min, col.max) = (c.y, c.y);
+        } else {
+            col.min = col.min.min(c.y);
+            col.max = col.max.max(c.y);
+        }
+        col.count += 1;
+    }
+
+    /// Marks node `c` free, updating the occupancy index (see
+    /// [`LineSummary::release`]).
+    fn set_node_free(&mut self, c: Coord) {
+        let i = self.node_index(c);
+        debug_assert_ne!(self.nodes[i], FREE, "releasing a free node");
+        self.nodes[i] = FREE;
+        let w = self.topo.width();
+        let Self {
+            nodes, rows, cols, ..
+        } = self;
+        let base = (c.y * w) as usize;
+        rows[c.y as usize].release(c.x, |x| nodes[base + x as usize] != FREE);
+        cols[c.x as usize].release(c.y, |y| nodes[(y * w + c.x) as usize] != FREE);
     }
 
     /// Returns `true` if every node and link of `path` is unclaimed (or
@@ -234,8 +322,7 @@ impl Mesh {
             return false;
         }
         for &n in path.nodes() {
-            let i = self.node_index(n);
-            self.nodes[i] = owner;
+            self.set_node_claimed(n, owner);
         }
         for (a, b) in path.links() {
             let slot = self.link_slot(a, b);
@@ -257,7 +344,7 @@ impl Mesh {
         for &n in path.nodes() {
             let i = self.node_index(n);
             assert_eq!(self.nodes[i], owner, "node {n} not owned by {owner}");
-            self.nodes[i] = FREE;
+            self.set_node_free(n);
         }
         for (a, b) in path.links() {
             let slot = self.link_slot(a, b);
@@ -265,6 +352,164 @@ impl Mesh {
             *slot = FREE;
             self.busy_links -= 1;
         }
+    }
+
+    /// Returns `true` if the router at `c` is currently claimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is off the mesh.
+    pub fn node_claimed(&self, c: Coord) -> bool {
+        assert!(
+            self.contains(c),
+            "node {c} outside {}x{} mesh",
+            self.width(),
+            self.height()
+        );
+        self.nodes[self.node_index(c)] != FREE
+    }
+
+    /// Number of claimed routers on row `y`, from the occupancy index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is outside the mesh.
+    pub fn row_claimed_count(&self, y: u32) -> u32 {
+        assert!(
+            y < self.height(),
+            "row {y} outside height {}",
+            self.height()
+        );
+        self.rows[y as usize].count
+    }
+
+    /// Number of claimed routers on column `x`, from the occupancy
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the mesh.
+    pub fn col_claimed_count(&self, x: u32) -> u32 {
+        assert!(
+            x < self.width(),
+            "column {x} outside width {}",
+            self.width()
+        );
+        self.cols[x as usize].count
+    }
+
+    /// The `[min, max]` x-interval bounding row `y`'s claimed routers,
+    /// or `None` when the row is idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is outside the mesh.
+    pub fn row_claimed_interval(&self, y: u32) -> Option<(u32, u32)> {
+        assert!(
+            y < self.height(),
+            "row {y} outside height {}",
+            self.height()
+        );
+        let row = &self.rows[y as usize];
+        (row.count > 0).then_some((row.min, row.max))
+    }
+
+    /// The `[min, max]` y-interval bounding column `x`'s claimed
+    /// routers, or `None` when the column is idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the mesh.
+    pub fn col_claimed_interval(&self, x: u32) -> Option<(u32, u32)> {
+        assert!(
+            x < self.width(),
+            "column {x} outside width {}",
+            self.width()
+        );
+        let col = &self.cols[x as usize];
+        (col.count > 0).then_some((col.min, col.max))
+    }
+
+    /// Conservative congestion probe: `true` proves the dimension-ordered
+    /// X-then-Y walk `src -> dst` cannot be claimed *by a claimant that
+    /// currently holds no mesh resources* — some router on the walk is
+    /// certainly claimed. `false` promises nothing.
+    ///
+    /// The probe reads only the per-line claimed-interval summaries of
+    /// row `src.y` and column `dst.x` (O(1)), never the walk itself. It
+    /// is exactly conservative: whenever it returns `true`,
+    /// [`Mesh::claim_route_xy_into`] would return `false` for any owner
+    /// holding nothing, because a claimed link always comes with its
+    /// claimed endpoint routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is off the mesh.
+    pub fn xy_certainly_blocked(&self, src: Coord, dst: Coord) -> bool {
+        assert!(
+            self.contains(src) && self.contains(dst),
+            "endpoints must be on the mesh"
+        );
+        if self.node_claimed(src) || self.node_claimed(dst) {
+            return true;
+        }
+        let (x_lo, x_hi) = (src.x.min(dst.x), src.x.max(dst.x));
+        let (y_lo, y_hi) = (src.y.min(dst.y), src.y.max(dst.y));
+        self.rows[src.y as usize].certainly_claims_in(x_lo, x_hi, self.width())
+            || self.cols[dst.x as usize].certainly_claims_in(y_lo, y_hi, self.height())
+    }
+
+    /// Y-then-X counterpart of [`Mesh::xy_certainly_blocked`]: probes
+    /// column `src.x` and row `dst.y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is off the mesh.
+    pub fn yx_certainly_blocked(&self, src: Coord, dst: Coord) -> bool {
+        // The Y-then-X walk src -> dst traverses column src.x then row
+        // dst.y — exactly the X-then-Y walk dst -> src.
+        self.xy_certainly_blocked(dst, src)
+    }
+
+    /// Conservative congestion probe for *any* route: `true` proves no
+    /// path whatsoever — dimension-ordered or adaptive — can connect
+    /// `src` and `dst` for a claimant that currently holds no mesh
+    /// resources. Either an endpoint router is claimed, or a fully
+    /// claimed row or column strictly between the endpoints separates
+    /// them (every unit-step path must cross it on a claimed router).
+    ///
+    /// `false` promises nothing; [`Mesh::route_adaptive_into`] may still
+    /// fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is off the mesh.
+    pub fn route_certainly_blocked(&self, src: Coord, dst: Coord) -> bool {
+        if self.node_claimed(src) || self.node_claimed(dst) {
+            return true;
+        }
+        if src != dst && (self.endpoint_enclosed(src) || self.endpoint_enclosed(dst)) {
+            return true;
+        }
+        let (y_lo, y_hi) = (src.y.min(dst.y), src.y.max(dst.y));
+        if (y_lo + 1..y_hi).any(|y| self.rows[y as usize].count == self.width()) {
+            return true;
+        }
+        let (x_lo, x_hi) = (src.x.min(dst.x), src.x.max(dst.x));
+        (x_lo + 1..x_hi).any(|x| self.cols[x as usize].count == self.height())
+    }
+
+    /// `true` when every exit of router `c` is shut — each neighbor is
+    /// claimed or the connecting link is. A free route of length >= 1
+    /// must leave through one of them, so an enclosed endpoint is
+    /// provably unroutable (the common local-congestion failure).
+    fn endpoint_enclosed(&self, c: Coord) -> bool {
+        let exit_open =
+            |n: Coord| self.nodes[self.node_index(n)] == FREE && self.link_owner(c, n) == FREE;
+        !((c.x + 1 < self.width() && exit_open(Coord::new(c.x + 1, c.y)))
+            || (c.x > 0 && exit_open(Coord::new(c.x - 1, c.y)))
+            || (c.y + 1 < self.height() && exit_open(Coord::new(c.x, c.y + 1)))
+            || (c.y > 0 && exit_open(Coord::new(c.x, c.y - 1))))
     }
 
     /// Dimension-ordered (X then Y) route between two routers.
@@ -348,8 +593,7 @@ impl Mesh {
         nodes_out.clear();
         let mut last: Option<Coord> = None;
         Topology::walk_dim_ordered(src, dst, order, |c| {
-            let i = self.node_index(c);
-            self.nodes[i] = owner;
+            self.set_node_claimed(c, owner);
             if let Some(prev) = last {
                 let slot = self.link_slot(prev, c);
                 if *slot == FREE {
@@ -464,51 +708,58 @@ impl Mesh {
             self.contains(src) && self.contains(dst),
             "endpoints must be on the mesh"
         );
-        let free_node = |c: Coord| {
-            let o = self.nodes[self.node_index(c)];
+        let free_node = |i: usize| {
+            let o = self.nodes[i];
             o == FREE || o == owner
         };
-        if !free_node(src) || !free_node(dst) {
+        if !free_node(self.node_index(src)) || !free_node(self.node_index(dst)) {
             return false;
         }
         // BFS over free links/nodes; deterministic neighbor order
-        // (east, west, south, north) keeps results reproducible.
-        let (width, height) = (self.width(), self.height());
-        scratch.begin(self.topo.num_nodes());
+        // (east, west, south, north) keeps results reproducible. The
+        // flood is the hot loop of contention-bound scheduling runs, so
+        // it works on flat node indices: neighbors are `i ± 1` /
+        // `i ± width`, the vertical link below node `i` is `v_links[i]`,
+        // and the horizontal link east of it is `h_links[i - y]`.
+        let (w, h) = (self.width() as usize, self.height() as usize);
+        let n = w * h;
+        scratch.begin(n);
         let stamp = scratch.stamp;
-        scratch.seen[self.node_index(src)] = stamp;
-        scratch.queue.push_back(src);
+        let free_link = |slot: ClaimId| slot == FREE || slot == owner;
+        let dst_i = self.node_index(dst);
+        let src_i = self.node_index(src);
+        scratch.seen[src_i] = stamp;
+        scratch.queue.push_back(src_i as u32);
         'bfs: while let Some(cur) = scratch.queue.pop_front() {
+            let cur = cur as usize;
+            let (x, y) = (cur % w, cur / w);
+            // (neighbor index, link slot), in east/west/south/north order.
             let neighbors = [
-                (cur.x + 1 < width).then(|| Coord::new(cur.x + 1, cur.y)),
-                (cur.x > 0).then(|| Coord::new(cur.x - 1, cur.y)),
-                (cur.y + 1 < height).then(|| Coord::new(cur.x, cur.y + 1)),
-                (cur.y > 0).then(|| Coord::new(cur.x, cur.y - 1)),
+                (x + 1 < w).then(|| (cur + 1, self.h_links[cur - y])),
+                (x > 0).then(|| (cur - 1, self.h_links[cur - y - 1])),
+                (y + 1 < h).then(|| (cur + w, self.v_links[cur])),
+                (y > 0).then(|| (cur - w, self.v_links[cur - w])),
             ];
-            for next in neighbors.into_iter().flatten() {
-                let i = self.node_index(next);
-                if scratch.seen[i] == stamp || !free_node(next) {
-                    continue;
-                }
-                let link_owner = self.link_owner(cur, next);
-                if link_owner != FREE && link_owner != owner {
+            for (i, link) in neighbors.into_iter().flatten() {
+                if scratch.seen[i] == stamp || !free_node(i) || !free_link(link) {
                     continue;
                 }
                 scratch.seen[i] = stamp;
-                scratch.prev[i] = self.node_index(cur) as u32;
-                if next == dst {
+                scratch.prev[i] = cur as u32;
+                if i == dst_i {
                     break 'bfs;
                 }
-                scratch.queue.push_back(next);
+                scratch.queue.push_back(i as u32);
             }
         }
-        if scratch.seen[self.node_index(dst)] != stamp {
+        if scratch.seen[dst_i] != stamp {
             return false;
         }
         let nodes = out.nodes_mut();
         nodes.clear();
         nodes.push(dst);
         let mut cur = dst;
+        let width = self.width();
         while cur != src {
             let p = scratch.prev[self.node_index(cur)];
             cur = Coord::new(p % width, p / width);
@@ -827,17 +1078,15 @@ mod tests {
     }
 
     #[test]
-    fn node_blocked_tracks_claims() {
+    fn node_claimed_tracks_claims() {
         let mut m = Mesh::new(4, 4);
         let p = m.route_xy(Coord::new(0, 0), Coord::new(2, 0));
-        assert!(!m.node_blocked(Coord::new(1, 0), 7));
+        assert!(!m.node_claimed(Coord::new(1, 0)));
         assert!(m.try_claim(&p, 7));
-        // Blocked for everyone but the owner.
-        assert!(m.node_blocked(Coord::new(1, 0), 8));
-        assert!(!m.node_blocked(Coord::new(1, 0), 7));
-        assert!(!m.node_blocked(Coord::new(3, 3), 8));
+        assert!(m.node_claimed(Coord::new(1, 0)));
+        assert!(!m.node_claimed(Coord::new(3, 3)));
         m.release(&p, 7);
-        assert!(!m.node_blocked(Coord::new(1, 0), 8));
+        assert!(!m.node_claimed(Coord::new(1, 0)));
     }
 
     #[test]
@@ -846,6 +1095,137 @@ mod tests {
         let t = m.topology();
         assert_eq!((t.width(), t.height()), (6, 4));
         assert_eq!(t.num_links(), m.num_links());
+    }
+
+    #[test]
+    fn certainly_blocked_probes_are_conservative() {
+        // Exhaustive soundness check on a congested mesh: whenever a
+        // probe says "blocked", the corresponding claim must fail for a
+        // fresh owner holding nothing.
+        let mut m = Mesh::new(7, 7);
+        let wall_v = m.route_xy(Coord::new(3, 1), Coord::new(3, 5));
+        assert!(m.try_claim(&wall_v, 90));
+        let wall_h = m.route_xy(Coord::new(0, 6), Coord::new(6, 6));
+        assert!(m.try_claim(&wall_h, 91));
+        for sx in 0..7u32 {
+            for sy in 0..7u32 {
+                for dx in 0..7u32 {
+                    for dy in 0..7u32 {
+                        let (src, dst) = (Coord::new(sx, sy), Coord::new(dx, dy));
+                        if m.xy_certainly_blocked(src, dst) {
+                            let mut probe = m.clone();
+                            assert!(
+                                !probe.claim_route_xy_into(src, dst, 7, &mut Path::empty()),
+                                "xy probe lied for {src}->{dst}"
+                            );
+                        }
+                        if m.yx_certainly_blocked(src, dst) {
+                            let mut probe = m.clone();
+                            assert!(
+                                !probe.claim_route_yx_into(src, dst, 7, &mut Path::empty()),
+                                "yx probe lied for {src}->{dst}"
+                            );
+                        }
+                        if m.route_certainly_blocked(src, dst) {
+                            assert!(
+                                m.route_adaptive(src, dst, 7).is_none(),
+                                "route probe lied for {src}->{dst}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_wall_blocks_all_routes() {
+        let mut m = Mesh::new(5, 5);
+        let wall = m.route_xy(Coord::new(0, 2), Coord::new(4, 2));
+        assert!(m.try_claim(&wall, 1));
+        // Row 2 is fully claimed: anything crossing it is provably
+        // unroutable, even adaptively.
+        assert!(m.route_certainly_blocked(Coord::new(2, 0), Coord::new(2, 4)));
+        assert!(m.xy_certainly_blocked(Coord::new(2, 0), Coord::new(2, 4)));
+        assert!(m.yx_certainly_blocked(Coord::new(2, 0), Coord::new(2, 4)));
+        // Endpoints on the same side are not separated by it.
+        assert!(!m.route_certainly_blocked(Coord::new(0, 0), Coord::new(4, 1)));
+        // Releasing the wall clears every verdict.
+        m.release(&wall, 1);
+        assert!(!m.route_certainly_blocked(Coord::new(2, 0), Coord::new(2, 4)));
+        assert!(!m.xy_certainly_blocked(Coord::new(2, 0), Coord::new(2, 4)));
+    }
+
+    #[test]
+    fn enclosed_endpoint_blocks_all_routes() {
+        let mut m = Mesh::new(5, 5);
+        // Wall the corner router (0, 0) in with its two neighbors.
+        assert!(m.try_claim(&Path::new(vec![Coord::new(1, 0)]), 1));
+        assert!(m.try_claim(&Path::new(vec![Coord::new(0, 1)]), 2));
+        assert!(m.route_certainly_blocked(Coord::new(0, 0), Coord::new(4, 4)));
+        assert!(m
+            .route_adaptive(Coord::new(0, 0), Coord::new(4, 4), 9)
+            .is_none());
+        // The zero-hop route to the enclosed-but-free router itself is
+        // fine, so enclosure must not fire on src == dst.
+        assert!(!m.route_certainly_blocked(Coord::new(0, 0), Coord::new(0, 0)));
+        // Freeing one exit clears the verdict.
+        m.release(&Path::new(vec![Coord::new(1, 0)]), 1);
+        assert!(!m.route_certainly_blocked(Coord::new(0, 0), Coord::new(4, 4)));
+    }
+
+    #[test]
+    fn claimed_endpoint_blocks_everything() {
+        let mut m = Mesh::new(4, 4);
+        assert!(m.try_claim(&Path::new(vec![Coord::new(1, 1)]), 5));
+        assert!(m.node_claimed(Coord::new(1, 1)));
+        assert!(!m.node_claimed(Coord::new(0, 0)));
+        assert!(m.xy_certainly_blocked(Coord::new(1, 1), Coord::new(3, 3)));
+        assert!(m.yx_certainly_blocked(Coord::new(0, 0), Coord::new(1, 1)));
+        assert!(m.route_certainly_blocked(Coord::new(1, 1), Coord::new(3, 3)));
+    }
+
+    #[test]
+    fn interval_summary_tightens_after_boundary_release() {
+        let mut m = Mesh::new(8, 8);
+        // Three single-node claims on row 3 at x = 1, 4, 6.
+        for x in [1u32, 4, 6] {
+            assert!(m.try_claim(&Path::new(vec![Coord::new(x, 3)]), 10 + x));
+        }
+        // Span [0, 0] holds nothing; [5, 7] certainly holds x=6.
+        assert!(!m.xy_certainly_blocked(Coord::new(0, 3), Coord::new(0, 3)));
+        assert!(m.xy_certainly_blocked(Coord::new(5, 3), Coord::new(7, 3)));
+        // Release the max boundary; the interval must re-tighten so the
+        // span [5, 7] is no longer provably blocked (x=6 freed)...
+        m.release(&Path::new(vec![Coord::new(6, 3)]), 16);
+        assert!(!m.xy_certainly_blocked(Coord::new(5, 3), Coord::new(7, 3)));
+        // ...but the remaining min boundary still blocks its span.
+        assert!(m.xy_certainly_blocked(Coord::new(0, 3), Coord::new(2, 3)));
+        m.release(&Path::new(vec![Coord::new(1, 3)]), 11);
+        assert!(!m.xy_certainly_blocked(Coord::new(0, 3), Coord::new(2, 3)));
+    }
+
+    #[test]
+    fn line_accessors_track_claims() {
+        let mut m = Mesh::new(6, 6);
+        assert_eq!(m.row_claimed_count(2), 0);
+        assert_eq!(m.row_claimed_interval(2), None);
+        let p = m.route_xy(Coord::new(1, 2), Coord::new(4, 2));
+        assert!(m.try_claim(&p, 3));
+        assert_eq!(m.row_claimed_count(2), 4);
+        assert_eq!(m.row_claimed_interval(2), Some((1, 4)));
+        assert_eq!(m.col_claimed_count(4), 1);
+        assert_eq!(m.col_claimed_interval(4), Some((2, 2)));
+        m.release(&p, 3);
+        assert_eq!(m.row_claimed_count(2), 0);
+        assert_eq!(m.col_claimed_interval(4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside height")]
+    fn row_accessor_off_mesh_panics() {
+        let m = Mesh::new(4, 4);
+        let _ = m.row_claimed_count(4);
     }
 
     #[test]
