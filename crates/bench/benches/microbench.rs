@@ -124,6 +124,49 @@ fn bench_claim_route(c: &mut Criterion) {
     });
 }
 
+/// Conflict-free claim/release churn with the occupancy index dormant
+/// (the lazy default — no claim has failed) vs live: the difference is
+/// exactly the per-node summary upkeep the lazy index spares
+/// uncontended scheduling runs.
+fn bench_lazy_occupancy_index(c: &mut Criterion) {
+    use scq_mesh::{Coord, Mesh, Path};
+    let base = Mesh::new(41, 41);
+    // Disjoint rows: every claim succeeds, so a dormant index stays
+    // dormant for the whole run.
+    let routes: Vec<Path> = (0..41u32)
+        .map(|y| base.route_xy(Coord::new(0, y), Coord::new(40, y)))
+        .collect();
+    let churn = |mesh: &mut Mesh| {
+        for _ in 0..8 {
+            for (i, r) in routes.iter().enumerate() {
+                assert!(mesh.try_claim(r, i as u32 + 1));
+            }
+            for (i, r) in routes.iter().enumerate() {
+                mesh.release(r, i as u32 + 1);
+            }
+        }
+        mesh.busy_links()
+    };
+    c.bench_function("mesh/claim-release-dormant-index", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut mesh| churn(&mut mesh),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mesh/claim-release-live-index", |b| {
+        b.iter_batched(
+            || {
+                let mut mesh = base.clone();
+                mesh.ensure_occupancy_index();
+                mesh
+            },
+            |mut mesh| churn(&mut mesh),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 /// Event-driven engine (incremental ready-sets + time jumps) vs the
 /// naive cycle-stepping full-rescan reference, same workload, same
 /// bit-identical schedule.
@@ -264,6 +307,7 @@ criterion_group!(
     bench_layout,
     bench_braid_scheduler,
     bench_claim_route,
+    bench_lazy_occupancy_index,
     bench_ready_sets_vs_rescan,
     bench_traced_vs_untraced,
     bench_epr_pipeline,

@@ -1,15 +1,26 @@
-//! Bench-regression guard: reads a regenerated `BENCH_sched.json` and
-//! fails (non-zero exit) when the scheduler's geomean speedup over the
-//! naive reference drops below a committed floor.
+//! Bench-regression guard: reads the regenerated bench reports and
+//! fails (non-zero exit) on committed-floor violations.
 //!
 //! ```text
-//! bench_guard [BENCH_sched.json] [floor]
+//! bench_guard [BENCH_sched.json] [floor] [BENCH_epr.json]
 //! ```
 //!
-//! The floor is deliberately far below the measured trajectory
-//! (geomean ~8x on a quiet machine) so only a real regression — not CI
-//! timing noise — trips it. CI runs this right after `perf_report`
-//! regenerates the file.
+//! Two checks:
+//!
+//! 1. **Scheduler speedup floor** (`BENCH_sched.json`): the
+//!    event-driven braid engine's geomean speedup over the naive
+//!    reference must stay above the floor. The floor is deliberately
+//!    far below the measured trajectory (geomean ~8x on a quiet
+//!    machine) so only a real regression — not CI timing noise — trips
+//!    it.
+//! 2. **Placement ablation** (`BENCH_epr.json`): for every row of the
+//!    `placement` section, the congestion-aware floorplan's makespan
+//!    and lane stalls must not exceed the baseline's. This is an
+//!    algorithmic invariant (only strictly improving moves are
+//!    accepted), so any violation is a real bug, never timing noise.
+//!    The check is skipped with a note when the file is absent.
+//!
+//! CI runs this right after `perf_report` regenerates both files.
 
 use std::process::ExitCode;
 
@@ -20,13 +31,61 @@ const DEFAULT_FLOOR: f64 = 3.0;
 /// Extracts a top-level numeric field from a flat JSON report without
 /// a JSON parser (the report format is ours and stable).
 fn parse_field(json: &str, key: &str) -> Option<f64> {
-    let idx = json.find(&format!("\"{key}\""))?;
-    let rest = &json[idx..];
-    let tail = rest[rest.find(':')? + 1..].trim_start();
-    let end = tail
-        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
+    parse_fields(json, key).into_iter().next()
+}
+
+/// Every occurrence of `"key": <number>` in document order.
+fn parse_fields(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(idx) = rest.find(&needle) {
+        rest = &rest[idx + needle.len()..];
+        let Some(colon) = rest.find(':') else { break };
+        let tail = rest[colon + 1..].trim_start();
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].parse() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Checks the placement section of an EPR report: every optimized
+/// makespan/stall count must be no worse than its baseline. Returns an
+/// error string on violation or malformed input.
+fn check_placement(json: &str) -> Result<usize, String> {
+    let Some(section) = json.find("\"placement\"").map(|i| &json[i..]) else {
+        return Err("no placement section".into());
+    };
+    let base_span = parse_fields(section, "baseline_makespan");
+    let opt_span = parse_fields(section, "optimized_makespan");
+    let base_stalls = parse_fields(section, "baseline_lane_stalls");
+    let opt_stalls = parse_fields(section, "optimized_lane_stalls");
+    if base_span.is_empty()
+        || base_span.len() != opt_span.len()
+        || base_span.len() != base_stalls.len()
+        || base_span.len() != opt_stalls.len()
+    {
+        return Err("malformed placement rows".into());
+    }
+    for i in 0..base_span.len() {
+        if opt_span[i] > base_span[i] {
+            return Err(format!(
+                "row {i}: optimized makespan {} exceeds baseline {}",
+                opt_span[i], base_span[i]
+            ));
+        }
+        if opt_stalls[i] > base_stalls[i] {
+            return Err(format!(
+                "row {i}: optimized lane stalls {} exceed baseline {}",
+                opt_stalls[i], base_stalls[i]
+            ));
+        }
+    }
+    Ok(base_span.len())
 }
 
 fn main() -> ExitCode {
@@ -42,6 +101,7 @@ fn main() -> ExitCode {
         },
         None => DEFAULT_FLOOR,
     };
+    let epr_path = args.next().unwrap_or_else(|| "BENCH_epr.json".into());
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -61,12 +121,29 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("bench_guard: ok — geomean scheduler speedup {geomean:.2}x >= floor {floor:.2}x");
+
+    match std::fs::read_to_string(&epr_path) {
+        Ok(epr_text) => match check_placement(&epr_text) {
+            Ok(rows) => {
+                println!(
+                    "bench_guard: ok — placement ablation optimized <= baseline on all {rows} rows"
+                );
+            }
+            Err(e) => {
+                eprintln!("bench_guard: FAIL — placement ablation in {epr_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            println!("bench_guard: note — skipping placement check ({epr_path}: {e})");
+        }
+    }
     ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::parse_field;
+    use super::{check_placement, parse_field, parse_fields};
 
     #[test]
     fn parses_floats_ints_and_scientific() {
@@ -82,5 +159,47 @@ mod tests {
         assert_eq!(parse_field("{\"x\": 4.5,", "x"), Some(4.5));
         assert_eq!(parse_field("{\"x\": 4.5}", "x"), Some(4.5));
         assert_eq!(parse_field("{\"x\": 4.5\n}", "x"), Some(4.5));
+    }
+
+    #[test]
+    fn parses_repeated_fields_in_order() {
+        let json = "[{\"v\": 1}, {\"v\": 2.5}, {\"v\": 3}]";
+        assert_eq!(parse_fields(json, "v"), vec![1.0, 2.5, 3.0]);
+    }
+
+    fn placement_json(rows: &[(u64, u64, u64, u64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(bm, om, bs, os)| {
+                format!(
+                    "{{\"app\": \"x\", \"baseline_makespan\": {bm}, \"optimized_makespan\": {om}, \
+                     \"baseline_lane_stalls\": {bs}, \"optimized_lane_stalls\": {os}}}"
+                )
+            })
+            .collect();
+        format!("{{\"placement\": [{}]}}", body.join(", "))
+    }
+
+    #[test]
+    fn placement_check_accepts_non_regressions() {
+        let json = placement_json(&[(900, 900, 14, 14), (148, 141, 4709, 3200)]);
+        assert_eq!(check_placement(&json), Ok(2));
+    }
+
+    #[test]
+    fn placement_check_rejects_makespan_regression() {
+        let json = placement_json(&[(900, 901, 14, 14)]);
+        assert!(check_placement(&json).unwrap_err().contains("makespan"));
+    }
+
+    #[test]
+    fn placement_check_rejects_stall_regression() {
+        let json = placement_json(&[(900, 900, 14, 15)]);
+        assert!(check_placement(&json).unwrap_err().contains("stalls"));
+    }
+
+    #[test]
+    fn placement_check_rejects_missing_section() {
+        assert!(check_placement("{\"points\": []}").is_err());
     }
 }

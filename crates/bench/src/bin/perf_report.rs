@@ -18,8 +18,9 @@ use scq_bench::{fig6_workloads, parallel_map, run_policy, run_policy_reference};
 use scq_braid::Policy;
 use scq_ir::DependencyDag;
 use scq_teleport::{
-    schedule_simd, simulate_epr_distribution, simulate_epr_on_fabric, DistributionPolicy,
-    EprConfig, EprDemand, FabricEprConfig, PlanarMachine, SimdConfig,
+    schedule_simd, simulate_epr_distribution, simulate_epr_on_fabric, CongestionAwarePlacement,
+    DistributionPolicy, EprConfig, EprDemand, FabricEprConfig, PlanarConfig, PlanarMachine,
+    SimdConfig,
 };
 
 const CODE_DISTANCE: u32 = 5;
@@ -159,6 +160,20 @@ struct EprPoint {
     peak_in_flight: usize,
 }
 
+/// One placement-ablation point: the constrained fabric scheduled on
+/// the baseline row-major floorplan versus the congestion-aware
+/// profile-then-place floorplan (same demand trace, same lanes).
+struct PlacementPoint {
+    app: &'static str,
+    baseline_makespan: u64,
+    optimized_makespan: u64,
+    baseline_lane_stalls: u64,
+    optimized_lane_stalls: u64,
+    moves_accepted: usize,
+    evaluations: usize,
+    place_secs: f64,
+}
+
 impl EprPoint {
     /// Fractional latency added purely by link contention.
     fn contention_added(&self) -> f64 {
@@ -170,6 +185,7 @@ fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
     let epr = EprConfig::default();
     let policy = DistributionPolicy::JustInTime { window: 64 };
     let mut points = Vec::new();
+    let mut placement_points = Vec::new();
     for (bench, circuit) in workloads {
         let dag = DependencyDag::from_circuit(circuit);
         let simd = schedule_simd(circuit, &dag, &SimdConfig::default());
@@ -221,6 +237,39 @@ fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
             link_stall_cycles: tight.link_stall_cycles,
             peak_in_flight: tight.peak_in_flight,
         });
+
+        // Placement ablation on the same constrained point: feed the
+        // fabric heatmap back into data-tile positions and re-measure.
+        // code_distance 1 keeps fabric_config() at the same raw
+        // hop_cycles the rows above were measured with.
+        let planar = PlanarConfig {
+            epr,
+            policy,
+            code_distance: 1,
+            link_capacity: EPR_LANES,
+            epr_factories: None,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let (_, outcome) =
+            CongestionAwarePlacement::default().place_traced(circuit.num_qubits(), &planar, &simd);
+        let place_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            outcome.baseline.makespan,
+            tight.pipeline.makespan,
+            "{}: placement baseline diverged from the constrained fabric row",
+            bench.name()
+        );
+        placement_points.push(PlacementPoint {
+            app: bench.name(),
+            baseline_makespan: outcome.baseline.makespan,
+            optimized_makespan: outcome.optimized.makespan,
+            baseline_lane_stalls: outcome.baseline.lane_stalls,
+            optimized_lane_stalls: outcome.optimized.lane_stalls,
+            moves_accepted: outcome.moves_accepted,
+            evaluations: outcome.evaluations,
+            place_secs,
+        });
     }
 
     println!("\nEPR fabric report (JIT window 64, {EPR_LANES} lanes/link vs unlimited)");
@@ -254,6 +303,43 @@ fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
         "constrained fabric showed no contention anywhere"
     );
 
+    println!("\nPlacement ablation (congestion-aware vs baseline, {EPR_LANES} lanes/link)");
+    println!();
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>6} {:>6} {:>9}",
+        "app", "base span", "opt span", "base stalls", "opt stalls", "moves", "evals", "place"
+    );
+    for p in &placement_points {
+        println!(
+            "{:<10} {:>10} {:>10} {:>12} {:>12} {:>6} {:>6} {:>8.1}ms",
+            p.app,
+            p.baseline_makespan,
+            p.optimized_makespan,
+            p.baseline_lane_stalls,
+            p.optimized_lane_stalls,
+            p.moves_accepted,
+            p.evaluations,
+            p.place_secs * 1e3,
+        );
+    }
+    // The optimizer only accepts strictly improving moves, so these are
+    // invariants of the algorithm, not of this machine's timing.
+    for p in &placement_points {
+        assert!(
+            p.optimized_makespan <= p.baseline_makespan
+                && p.optimized_lane_stalls <= p.baseline_lane_stalls,
+            "{}: congestion-aware placement regressed the baseline",
+            p.app
+        );
+    }
+    assert!(
+        placement_points
+            .iter()
+            .any(|p| p.optimized_makespan <= p.baseline_makespan
+                && p.optimized_lane_stalls < p.baseline_lane_stalls),
+        "congestion-aware placement improved no contended point"
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"policy\": \"jit_window_64\",");
     let _ = writeln!(json, "  \"constrained_link_capacity\": {EPR_LANES},");
@@ -272,6 +358,27 @@ fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
             p.contention_added(),
             p.link_stall_cycles,
             p.peak_in_flight,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"placement\": [");
+    for (i, p) in placement_points.iter().enumerate() {
+        let comma = if i + 1 < placement_points.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"app\": \"{}\", \"baseline_makespan\": {}, \"optimized_makespan\": {}, \"baseline_lane_stalls\": {}, \"optimized_lane_stalls\": {}, \"moves_accepted\": {}, \"evaluations\": {}, \"place_secs\": {:.6}}}{comma}",
+            p.app,
+            p.baseline_makespan,
+            p.optimized_makespan,
+            p.baseline_lane_stalls,
+            p.optimized_lane_stalls,
+            p.moves_accepted,
+            p.evaluations,
+            p.place_secs,
         );
     }
     let _ = writeln!(json, "  ]");

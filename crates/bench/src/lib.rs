@@ -1,7 +1,7 @@
 //! Shared harness code for the table/figure regeneration binaries.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper (see DESIGN.md's per-experiment index):
+//! paper (see ARCHITECTURE.md for where each artifact comes from):
 //!
 //! | Binary | Regenerates |
 //! |--------|-------------|
@@ -15,7 +15,7 @@
 //! | `perf_report` | `BENCH_sched.json` + `BENCH_epr.json` — perf trajectories |
 //! | `bench_guard` | CI regression guard on the scheduler geomean speedup |
 //!
-//! Run all of them with `scripts/run_all.sh` or individually via
+//! Run them individually via
 //! `cargo run --release -p scq-bench --bin <name>`.
 //!
 //! Binaries that sweep a (workload × policy) grid fan the points out

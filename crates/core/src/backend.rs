@@ -28,7 +28,9 @@ use scq_braid::{BraidConfig, BraidSchedule};
 use scq_ir::{Circuit, DependencyDag, InteractionGraph};
 use scq_layout::{place, Layout};
 use scq_surface::Encoding;
-use scq_teleport::{schedule_planar, PlanarConfig, PlanarSchedule};
+use scq_teleport::{
+    schedule_planar, schedule_planar_with, CongestionAwarePlacement, PlanarConfig, PlanarSchedule,
+};
 
 use crate::ToolflowError;
 
@@ -121,6 +123,29 @@ pub trait CommBackend {
     /// cycle limit), mapped into [`ToolflowError`].
     fn schedule(&self, circuit: &Circuit, dag: &DependencyDag)
         -> Result<CommReport, ToolflowError>;
+
+    /// Profile-then-place: schedules `circuit` after a backend-specific
+    /// placement-optimization pass, when the backend has one.
+    ///
+    /// The default is plain [`CommBackend::schedule`] — the braid
+    /// backend's layout is already interaction-optimized at placement
+    /// time. The teleport backend overrides this to profile the EPR
+    /// fabric on the baseline floorplan and re-place data tiles away
+    /// from the measured hot columns
+    /// ([`scq_teleport::CongestionAwarePlacement`]); the result is
+    /// never worse than [`CommBackend::schedule`]'s, because only
+    /// strictly improving placement moves are accepted.
+    ///
+    /// # Errors
+    ///
+    /// As [`CommBackend::schedule`].
+    fn schedule_optimized(
+        &self,
+        circuit: &Circuit,
+        dag: &DependencyDag,
+    ) -> Result<CommReport, ToolflowError> {
+        self.schedule(circuit, dag)
+    }
 }
 
 /// The double-defect braid engine behind the [`CommBackend`] interface.
@@ -220,6 +245,26 @@ impl CommBackend for TeleportBackend {
             detail: CommDetail::Teleport(s),
         })
     }
+
+    fn schedule_optimized(
+        &self,
+        circuit: &Circuit,
+        dag: &DependencyDag,
+    ) -> Result<CommReport, ToolflowError> {
+        let s = schedule_planar_with(
+            circuit,
+            dag,
+            &self.config,
+            &CongestionAwarePlacement::default(),
+        );
+        Ok(CommReport {
+            encoding: Encoding::Planar,
+            cycles: s.cycles,
+            lower_bound_cycles: s.timesteps,
+            comm_events: s.simd.total_teleports(),
+            detail: CommDetail::Teleport(s),
+        })
+    }
 }
 
 /// Both backends at their default configurations for a code distance —
@@ -272,6 +317,40 @@ mod tests {
         let tele = TeleportBackend::default().schedule(&c, &dag).unwrap();
         assert!(tele.detail.as_teleport().is_some());
         assert!(tele.detail.as_braid().is_none());
+    }
+
+    #[test]
+    fn schedule_optimized_never_regresses() {
+        // A column-stacked hot spot under one swap lane per link: the
+        // teleport backend's profile-then-place pass must not produce a
+        // longer schedule than the baseline (and the braid backend's
+        // default passthrough must match its plain schedule).
+        let mut b = Circuit::builder("hot", 16);
+        for q in 0..16u32 {
+            b.h(q);
+        }
+        for _ in 0..8 {
+            for q in [0u32, 4, 8, 12] {
+                b.cnot(q, (q + 4) % 16).t(q);
+            }
+        }
+        let c = b.finish();
+        let dag = DependencyDag::from_circuit(&c);
+        let backend = TeleportBackend::new(PlanarConfig {
+            link_capacity: 1,
+            ..Default::default()
+        });
+        let plain = backend.schedule(&c, &dag).unwrap();
+        let optimized = backend.schedule_optimized(&c, &dag).unwrap();
+        assert!(optimized.cycles <= plain.cycles);
+        let plain_stalls = plain.detail.as_teleport().unwrap().link_stall_cycles;
+        let opt_stalls = optimized.detail.as_teleport().unwrap().link_stall_cycles;
+        assert!(opt_stalls <= plain_stalls);
+
+        let braid = BraidBackend::default();
+        let a = braid.schedule(&c, &dag).unwrap();
+        let b = braid.schedule_optimized(&c, &dag).unwrap();
+        assert_eq!(a.cycles, b.cycles);
     }
 
     #[test]

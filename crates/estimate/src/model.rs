@@ -83,7 +83,7 @@ impl fmt::Display for ResourceEstimate {
 /// Estimates the space-time resources of running `profile` at
 /// computation size `kq` (logical operations) on `encoding`.
 ///
-/// The model (DESIGN.md Section 3):
+/// The model:
 ///
 /// - **Double-defect**: two-qubit ops are braids of `2(d+1)` cycles, T
 ///   gates one leg of `d+1`; the whole schedule is inflated by the

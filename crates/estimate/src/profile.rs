@@ -13,8 +13,8 @@ use scq_braid::{schedule_circuit, BraidConfig, Policy};
 use scq_ir::{analysis, DependencyDag, InteractionGraph};
 use scq_layout::{place, LayoutStrategy};
 use scq_teleport::{
-    hop_cycles_for_distance, schedule_simd, simulate_epr_on_fabric, DistributionPolicy, EprConfig,
-    FabricEprConfig, PlanarMachine, SimdConfig,
+    hop_cycles_for_distance, schedule_simd, simulate_epr_on_fabric, CongestionAwarePlacement,
+    DistributionPolicy, EprConfig, FabricEprConfig, PlacementStrategy, PlanarConfig, SimdConfig,
 };
 
 /// How an application's logical qubit count scales with its logical
@@ -214,33 +214,51 @@ impl AppProfile {
 /// closed-form hop model could not see — near 1.0 for serial
 /// applications, measurably above it for parallel ones whose EPR
 /// halves share swap lanes.
+///
+/// The machine is laid out with the congestion-aware placement (the
+/// configuration a deployed planar machine would run), so the
+/// multiplier prices the *residual* contention after the heatmap →
+/// placement feedback loop has steered demand off the hot columns, not
+/// the naive row-major floorplan's.
 fn measured_teleport_congestion(circuit: &scq_ir::Circuit) -> f64 {
     // One SIMD schedule, floorplan, and demand trace serve both fabric
     // runs — only the swap-lane capacity differs between them.
     let dag = DependencyDag::from_circuit(circuit);
     let simd = schedule_simd(circuit, &dag, &SimdConfig::default());
-    let machine = PlanarMachine::new(circuit.num_qubits(), None);
-    let requests = machine.requests_for(&simd);
     let epr = EprConfig {
         hop_cycles: hop_cycles_for_distance(5),
         ..Default::default()
     };
-    let policy = DistributionPolicy::JustInTime { window: 64 };
+    let planar = PlanarConfig {
+        epr,
+        policy: DistributionPolicy::JustInTime { window: 64 },
+        // fabric_config() scales hop_cycles by the code distance; the
+        // distance is already priced into `epr` above.
+        code_distance: 1,
+        link_capacity: CALIBRATION_LANES,
+        epr_factories: None,
+        ..Default::default()
+    };
+    let machine = CongestionAwarePlacement::default().place(circuit.num_qubits(), &planar, &simd);
+    let requests = machine.requests_for(&simd);
     let run = |link_capacity: u32| {
         simulate_epr_on_fabric(
             &requests,
-            policy,
+            planar.policy,
             &FabricEprConfig { epr, link_capacity },
             machine.topology,
         )
     };
-    let tight = run(2);
+    let tight = run(CALIBRATION_LANES);
     let free = run(scq_mesh::FabricConfig::UNLIMITED);
     if free.pipeline.makespan == 0 {
         return 1.0;
     }
     (tight.pipeline.makespan as f64 / free.pipeline.makespan as f64).max(1.0)
 }
+
+/// Swap lanes per link for the constrained calibration runs.
+const CALIBRATION_LANES: u32 = 2;
 
 /// Instance scale used for braid-congestion calibration: large enough to
 /// exhibit contention, small enough to schedule quickly.

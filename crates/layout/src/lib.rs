@@ -8,6 +8,19 @@
 //! bisection of the interaction graph over recursive halves of the grid,
 //! plus the naive baselines the paper compares against.
 //!
+//! Two placement layers live here:
+//!
+//! - **Static** ([`place`]): minimize weighted Manhattan distance from
+//!   the interaction graph alone — no simulation in the loop.
+//! - **Congestion-aware** ([`optimize_placement`]): iteratively refine
+//!   a tile assignment against a *measured* per-link
+//!   [`LinkHeatmap`](scq_mesh::LinkHeatmap) from a fabric profiling
+//!   pass, relocating high-demand tiles out of hot columns and
+//!   accepting only moves that strictly improve the measured
+//!   [`PlacementCost`]. The planar teleport machine injects its EPR
+//!   fabric simulator as the profiling oracle (`scq-teleport`'s
+//!   `CongestionAwarePlacement`).
+//!
 //! # Examples
 //!
 //! ```
@@ -26,6 +39,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod congestion;
+
+pub use congestion::{optimize_placement, CongestionPlacerConfig, PlacementCost, PlacementOutcome};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -35,6 +35,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::coord::Path;
+use crate::heatmap::LinkHeatmap;
 use crate::topology::Topology;
 
 /// Identifier of an in-flight message, assigned by [`Fabric::inject`]
@@ -121,7 +122,7 @@ pub struct FabricStats {
 
 /// A 2D packet fabric over a [`Topology`].
 ///
-/// See the [module docs](self) for the model. Determinism: events are
+/// See the module docs at the top of this file for the model. Determinism: events are
 /// processed in `(time, MsgId)` order and link wait-queues are FIFO, so
 /// identical injection sequences always produce identical timelines.
 #[derive(Clone, Debug)]
@@ -132,6 +133,9 @@ pub struct Fabric {
     load: Vec<u32>,
     /// Accumulated busy-cycles per link (congestion heatmap data).
     link_busy: Vec<u64>,
+    /// Accumulated stall-cycles per link (cycles messages spent queued
+    /// waiting for one of its lanes).
+    link_stalls: Vec<u64>,
     /// FIFO wait queue per link.
     waiters: Vec<VecDeque<MsgId>>,
     msgs: Vec<InFlightMessage>,
@@ -157,6 +161,7 @@ impl Fabric {
             config,
             load: vec![0; topo.num_links()],
             link_busy: vec![0; topo.num_links()],
+            link_stalls: vec![0; topo.num_links()],
             waiters: vec![VecDeque::new(); topo.num_links()],
             msgs: Vec::new(),
             events: BinaryHeap::new(),
@@ -196,6 +201,13 @@ impl Fabric {
     /// Busy-cycles on the hottest link.
     pub fn hottest_link_busy_cycles(&self) -> u64 {
         self.link_busy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Snapshots the per-link busy and stall counters into a stable
+    /// [`LinkHeatmap`] — the congestion data product consumed by
+    /// placement optimization.
+    pub fn heatmap(&self) -> LinkHeatmap {
+        LinkHeatmap::new(self.topo, self.link_busy.clone(), self.link_stalls.clone())
     }
 
     /// Injects a message that starts traversing `route` at cycle
@@ -309,6 +321,7 @@ impl Fabric {
                         ref other => unreachable!("waiter in state {other:?}"),
                     };
                     self.stats.link_stall_cycles += t - since;
+                    self.link_stalls[link] += t - since;
                     self.enter_link(t, w, link);
                 }
                 self.msgs[id as usize].cursor += 1;
@@ -469,6 +482,33 @@ mod tests {
         assert_eq!(f.link_busy_cycles().iter().sum::<u64>(), 36);
         assert_eq!(f.hottest_link_busy_cycles(), 12);
         assert_eq!(f.stats().peak_in_flight, 4);
+    }
+
+    #[test]
+    fn heatmap_splits_busy_and_stall_per_link() {
+        let topo = Topology::new(4, 1);
+        let cfg = FabricConfig {
+            hop_cycles: 2,
+            link_capacity: 1,
+        };
+        let mut f = Fabric::new(topo, cfg);
+        f.inject(row_route(topo, 0, 0, 3), 0);
+        f.inject(row_route(topo, 0, 0, 3), 0);
+        f.run_to_completion();
+        let h = f.heatmap();
+        assert_eq!(h.topology(), topo);
+        // Both messages crossed every link: 2 x 2 cycles busy each.
+        assert_eq!(h.busy_cycles(), &[4, 4, 4]);
+        // All queueing happened behind the leader at the first link.
+        assert_eq!(h.total_stall_cycles(), f.stats().link_stall_cycles);
+        assert_eq!(h.stall_cycles()[0], f.stats().link_stall_cycles);
+        assert_eq!(h.stall_cycles()[1], 0);
+        // The snapshot is detached from the live fabric.
+        let before = h.clone();
+        f.inject(row_route(topo, 0, 0, 3), f.now());
+        f.run_to_completion();
+        assert_eq!(h, before);
+        assert_ne!(f.heatmap(), before);
     }
 
     #[test]

@@ -60,11 +60,13 @@
 
 mod coord;
 mod fabric;
+mod heatmap;
 #[allow(clippy::module_inception)]
 mod mesh;
 mod topology;
 
 pub use coord::{Coord, Path};
 pub use fabric::{Fabric, FabricConfig, FabricStats, MsgId};
+pub use heatmap::LinkHeatmap;
 pub use mesh::{ClaimId, Mesh, RouteScratch};
 pub use topology::Topology;

@@ -150,6 +150,11 @@ pub struct Mesh {
     /// Occupancy index: claimed-interval summary per router column
     /// (indexed by `x`, positions along the line are `y`).
     cols: Vec<LineSummary>,
+    /// Whether the occupancy index is live. The index starts dormant —
+    /// uncontended runs never fail a claim, so they never pay its
+    /// upkeep — and is built (one O(nodes) sweep) on the first claim
+    /// failure, after which claim/release maintain it incrementally.
+    index_active: bool,
 }
 
 impl Mesh {
@@ -170,6 +175,36 @@ impl Mesh {
             ticks: 0,
             rows: vec![LineSummary::default(); topo.height() as usize],
             cols: vec![LineSummary::default(); topo.width() as usize],
+            index_active: false,
+        }
+    }
+
+    /// Whether the occupancy index is currently live. Dormant until the
+    /// first claim failure (see [`Mesh::ensure_occupancy_index`]).
+    pub fn occupancy_index_active(&self) -> bool {
+        self.index_active
+    }
+
+    /// Activates the occupancy index if it is still dormant, rebuilding
+    /// the per-row/column claimed-interval summaries from the current
+    /// node occupancy in one O(nodes) sweep.
+    ///
+    /// The mesh calls this itself on the first failed claim — the
+    /// earliest evidence of contention, which is the only regime where
+    /// the index's `*_certainly_blocked` probes earn their upkeep.
+    /// Callers that know a run will be contended may invoke it up front.
+    pub fn ensure_occupancy_index(&mut self) {
+        if self.index_active {
+            return;
+        }
+        self.index_active = true;
+        let (w, h) = (self.topo.width(), self.topo.height());
+        for y in 0..h {
+            for x in 0..w {
+                if self.nodes[(y * w + x) as usize] != FREE {
+                    self.index_claim(Coord::new(x, y));
+                }
+            }
         }
     }
 
@@ -237,8 +272,9 @@ impl Mesh {
         }
     }
 
-    /// Marks node `c` claimed in place, updating the occupancy index.
-    /// Idempotent re-claims (node already owned) touch nothing.
+    /// Marks node `c` claimed in place, updating the occupancy index
+    /// when it is live. Idempotent re-claims (node already owned) touch
+    /// nothing.
     fn set_node_claimed(&mut self, c: Coord, owner: ClaimId) {
         let i = self.node_index(c);
         if self.nodes[i] != FREE {
@@ -246,6 +282,14 @@ impl Mesh {
             return;
         }
         self.nodes[i] = owner;
+        if self.index_active {
+            self.index_claim(c);
+        }
+    }
+
+    /// Records node `c` in the row/column claimed-interval summaries.
+    /// Only called while the index is live (or while rebuilding it).
+    fn index_claim(&mut self, c: Coord) {
         let row = &mut self.rows[c.y as usize];
         if row.count == 0 {
             (row.min, row.max) = (c.x, c.x);
@@ -264,12 +308,15 @@ impl Mesh {
         col.count += 1;
     }
 
-    /// Marks node `c` free, updating the occupancy index (see
-    /// [`LineSummary::release`]).
+    /// Marks node `c` free, updating the occupancy index when it is
+    /// live (see [`LineSummary::release`]).
     fn set_node_free(&mut self, c: Coord) {
         let i = self.node_index(c);
         debug_assert_ne!(self.nodes[i], FREE, "releasing a free node");
         self.nodes[i] = FREE;
+        if !self.index_active {
+            return;
+        }
         let w = self.topo.width();
         let Self {
             nodes, rows, cols, ..
@@ -319,6 +366,9 @@ impl Mesh {
     pub fn try_claim(&mut self, path: &Path, owner: ClaimId) -> bool {
         assert_ne!(owner, FREE, "ClaimId::MAX is reserved");
         if !self.is_path_free(path, owner) {
+            // First evidence of contention: from here on the occupancy
+            // index earns its upkeep, so bring it live.
+            self.ensure_occupancy_index();
             return false;
         }
         for &n in path.nodes() {
@@ -369,7 +419,27 @@ impl Mesh {
         self.nodes[self.node_index(c)] != FREE
     }
 
-    /// Number of claimed routers on row `y`, from the occupancy index.
+    /// Claimed positions along row `y` — the dormant-index fallback
+    /// scan behind the public line accessors.
+    fn row_claimed_positions(&self, y: u32) -> impl DoubleEndedIterator<Item = u32> + '_ {
+        (0..self.width()).filter(move |&x| self.node_claimed(Coord::new(x, y)))
+    }
+
+    /// Claimed positions along column `x`; see
+    /// [`Mesh::row_claimed_positions`].
+    fn col_claimed_positions(&self, x: u32) -> impl DoubleEndedIterator<Item = u32> + '_ {
+        (0..self.height()).filter(move |&y| self.node_claimed(Coord::new(x, y)))
+    }
+
+    /// Bounding `[min, max]` of a claimed-position scan, or `None` when
+    /// the line is idle.
+    fn scan_interval(mut positions: impl DoubleEndedIterator<Item = u32>) -> Option<(u32, u32)> {
+        let lo = positions.next()?;
+        Some((lo, positions.next_back().unwrap_or(lo)))
+    }
+
+    /// Number of claimed routers on row `y` — O(1) from the occupancy
+    /// index when it is live, one O(width) scan while it is dormant.
     ///
     /// # Panics
     ///
@@ -380,11 +450,15 @@ impl Mesh {
             "row {y} outside height {}",
             self.height()
         );
+        if !self.index_active {
+            return self.row_claimed_positions(y).count() as u32;
+        }
         self.rows[y as usize].count
     }
 
-    /// Number of claimed routers on column `x`, from the occupancy
-    /// index.
+    /// Number of claimed routers on column `x` — O(1) from the
+    /// occupancy index when it is live, one O(height) scan while it is
+    /// dormant.
     ///
     /// # Panics
     ///
@@ -395,11 +469,15 @@ impl Mesh {
             "column {x} outside width {}",
             self.width()
         );
+        if !self.index_active {
+            return self.col_claimed_positions(x).count() as u32;
+        }
         self.cols[x as usize].count
     }
 
     /// The `[min, max]` x-interval bounding row `y`'s claimed routers,
-    /// or `None` when the row is idle.
+    /// or `None` when the row is idle. O(1) from the occupancy index
+    /// when it is live, one O(width) scan while it is dormant.
     ///
     /// # Panics
     ///
@@ -410,12 +488,17 @@ impl Mesh {
             "row {y} outside height {}",
             self.height()
         );
+        if !self.index_active {
+            return Self::scan_interval(self.row_claimed_positions(y));
+        }
         let row = &self.rows[y as usize];
         (row.count > 0).then_some((row.min, row.max))
     }
 
     /// The `[min, max]` y-interval bounding column `x`'s claimed
-    /// routers, or `None` when the column is idle.
+    /// routers, or `None` when the column is idle. O(1) from the
+    /// occupancy index when it is live, one O(height) scan while it is
+    /// dormant.
     ///
     /// # Panics
     ///
@@ -426,6 +509,9 @@ impl Mesh {
             "column {x} outside width {}",
             self.width()
         );
+        if !self.index_active {
+            return Self::scan_interval(self.col_claimed_positions(x));
+        }
         let col = &self.cols[x as usize];
         (col.count > 0).then_some((col.min, col.max))
     }
@@ -441,6 +527,11 @@ impl Mesh {
     /// [`Mesh::claim_route_xy_into`] would return `false` for any owner
     /// holding nothing, because a claimed link always comes with its
     /// claimed endpoint routers.
+    ///
+    /// While the occupancy index is dormant (no claim has failed yet —
+    /// see [`Mesh::ensure_occupancy_index`]) only the exact endpoint
+    /// checks can fire; the corridor proofs need the live summaries.
+    /// That weakens the verdict, never its soundness.
     ///
     /// # Panics
     ///
@@ -479,7 +570,8 @@ impl Mesh {
     /// them (every unit-step path must cross it on a claimed router).
     ///
     /// `false` promises nothing; [`Mesh::route_adaptive_into`] may still
-    /// fail.
+    /// fail. While the occupancy index is dormant, only the endpoint
+    /// and enclosure checks can fire (see [`Mesh::xy_certainly_blocked`]).
     ///
     /// # Panics
     ///
@@ -586,6 +678,7 @@ impl Mesh {
             true
         });
         if !free {
+            self.ensure_occupancy_index();
             return false;
         }
         // Pass 2: claim every resource and materialize the path.
@@ -1107,6 +1200,7 @@ mod tests {
         assert!(m.try_claim(&wall_v, 90));
         let wall_h = m.route_xy(Coord::new(0, 6), Coord::new(6, 6));
         assert!(m.try_claim(&wall_h, 91));
+        m.ensure_occupancy_index();
         for sx in 0..7u32 {
             for sy in 0..7u32 {
                 for dx in 0..7u32 {
@@ -1143,6 +1237,7 @@ mod tests {
         let mut m = Mesh::new(5, 5);
         let wall = m.route_xy(Coord::new(0, 2), Coord::new(4, 2));
         assert!(m.try_claim(&wall, 1));
+        m.ensure_occupancy_index();
         // Row 2 is fully claimed: anything crossing it is provably
         // unroutable, even adaptively.
         assert!(m.route_certainly_blocked(Coord::new(2, 0), Coord::new(2, 4)));
@@ -1192,6 +1287,7 @@ mod tests {
         for x in [1u32, 4, 6] {
             assert!(m.try_claim(&Path::new(vec![Coord::new(x, 3)]), 10 + x));
         }
+        m.ensure_occupancy_index();
         // Span [0, 0] holds nothing; [5, 7] certainly holds x=6.
         assert!(!m.xy_certainly_blocked(Coord::new(0, 3), Coord::new(0, 3)));
         assert!(m.xy_certainly_blocked(Coord::new(5, 3), Coord::new(7, 3)));
@@ -1226,6 +1322,114 @@ mod tests {
     fn row_accessor_off_mesh_panics() {
         let m = Mesh::new(4, 4);
         let _ = m.row_claimed_count(4);
+    }
+
+    #[test]
+    fn index_stays_dormant_until_a_claim_fails() {
+        let mut m = Mesh::new(6, 6);
+        assert!(!m.occupancy_index_active());
+        // Successful claims and releases never wake the index.
+        let p = m.route_xy(Coord::new(0, 0), Coord::new(5, 0));
+        assert!(m.try_claim(&p, 1));
+        m.release(&p, 1);
+        let q = m
+            .claim_route_yx(Coord::new(0, 1), Coord::new(5, 1), 2)
+            .unwrap();
+        m.release(&q, 2);
+        assert!(!m.occupancy_index_active());
+        // The first failed claim brings it live.
+        assert!(m.try_claim(&p, 1));
+        let crossing = m.route_xy(Coord::new(2, 0), Coord::new(2, 5));
+        assert!(!m.try_claim(&crossing, 3));
+        assert!(m.occupancy_index_active());
+    }
+
+    #[test]
+    fn fused_claim_failure_also_wakes_the_index() {
+        let mut m = Mesh::new(5, 5);
+        let wall = m.route_xy(Coord::new(0, 2), Coord::new(4, 2));
+        assert!(m.try_claim(&wall, 1));
+        assert!(!m.occupancy_index_active());
+        let mut out = Path::empty();
+        assert!(!m.claim_route_xy_into(Coord::new(2, 0), Coord::new(2, 4), 2, &mut out));
+        assert!(m.occupancy_index_active());
+        // Once live, the separator proof fires.
+        assert!(m.route_certainly_blocked(Coord::new(2, 0), Coord::new(2, 4)));
+    }
+
+    #[test]
+    fn rebuilt_index_matches_incremental_maintenance() {
+        // Claim a congested pattern on a dormant-index mesh, wake the
+        // index, and check every line summary against a twin mesh whose
+        // index was live from the start.
+        let mut lazy = Mesh::new(9, 9);
+        let mut eager = Mesh::new(9, 9);
+        eager.ensure_occupancy_index();
+        let claims = [
+            (Coord::new(0, 0), Coord::new(8, 0)),
+            (Coord::new(2, 2), Coord::new(2, 7)),
+            (Coord::new(4, 4), Coord::new(7, 6)),
+            (Coord::new(0, 8), Coord::new(3, 8)),
+        ];
+        for (i, &(a, b)) in claims.iter().enumerate() {
+            let p = lazy.route_xy(a, b);
+            assert!(lazy.try_claim(&p, i as u32 + 1));
+            assert!(eager.try_claim(&p, i as u32 + 1));
+        }
+        // Release one mid-pattern path so boundaries re-tighten on the
+        // eager side before the comparison.
+        let p = lazy.route_xy(claims[2].0, claims[2].1);
+        lazy.release(&p, 3);
+        eager.release(&p, 3);
+        lazy.ensure_occupancy_index();
+        for y in 0..9 {
+            assert_eq!(
+                lazy.row_claimed_count(y),
+                eager.row_claimed_count(y),
+                "row {y} count"
+            );
+            assert_eq!(
+                lazy.row_claimed_interval(y),
+                eager.row_claimed_interval(y),
+                "row {y} interval"
+            );
+        }
+        for x in 0..9 {
+            assert_eq!(lazy.col_claimed_count(x), eager.col_claimed_count(x));
+            assert_eq!(lazy.col_claimed_interval(x), eager.col_claimed_interval(x));
+        }
+    }
+
+    #[test]
+    fn dormant_probes_still_catch_claimed_endpoints() {
+        let mut m = Mesh::new(5, 5);
+        assert!(m.try_claim(&Path::new(vec![Coord::new(2, 2)]), 1));
+        assert!(!m.occupancy_index_active());
+        assert!(m.xy_certainly_blocked(Coord::new(2, 2), Coord::new(4, 4)));
+        assert!(m.yx_certainly_blocked(Coord::new(0, 0), Coord::new(2, 2)));
+        assert!(m.route_certainly_blocked(Coord::new(2, 2), Coord::new(0, 0)));
+        // Corridor proofs need the live index: a wall mid-corridor is
+        // invisible while dormant (weaker verdict, still sound)...
+        let wall = m.route_xy(Coord::new(0, 3), Coord::new(4, 3));
+        assert!(m.try_claim(&wall, 2));
+        assert!(!m.xy_certainly_blocked(Coord::new(0, 0), Coord::new(0, 4)));
+        // ...and fires once the index is live.
+        m.ensure_occupancy_index();
+        assert!(m.xy_certainly_blocked(Coord::new(0, 0), Coord::new(0, 4)));
+    }
+
+    #[test]
+    fn dormant_line_accessors_scan_real_occupancy() {
+        let mut m = Mesh::new(6, 6);
+        let p = m.route_xy(Coord::new(1, 2), Coord::new(4, 2));
+        assert!(m.try_claim(&p, 3));
+        assert!(!m.occupancy_index_active());
+        assert_eq!(m.row_claimed_count(2), 4);
+        assert_eq!(m.row_claimed_interval(2), Some((1, 4)));
+        assert_eq!(m.col_claimed_count(4), 1);
+        assert_eq!(m.col_claimed_interval(4), Some((2, 2)));
+        assert_eq!(m.row_claimed_count(0), 0);
+        assert_eq!(m.col_claimed_interval(0), None);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Surface codes decode by pairing anomalous syndrome events in the 3D
 //! space-time volume of syndrome measurements (paper Section 2.3, via
-//! Edmonds' matching [25]). The evaluation figures never simulate
+//! Edmonds' matching \[25\]). The evaluation figures never simulate
 //! per-shot decoding — the aggregate Fowler error-rate law stands in —
 //! but a reference decoder is included so the error-correction story is
 //! complete and testable. The implementation is a greedy nearest-pair

@@ -6,7 +6,7 @@
 //! nearest-neighbor-only interactions — but does not evaluate it:
 //! "the chain of merges and splits does not have the benefits of braids
 //! (fast movement) nor teleportation (prefetchability)", and optimal
-//! surgery scheduling is NP-hard [37]. Mirroring the paper, this module
+//! surgery scheduling is NP-hard \[37\]. Mirroring the paper, this module
 //! models only the geometry and unit costs, so the tradeoff can be
 //! *stated* quantitatively; there is deliberately no surgery scheduler.
 

@@ -28,7 +28,7 @@
 //! capacity the gap between the two is precisely the contention the
 //! paper's planar numbers were missing.
 
-use scq_mesh::{Coord, Fabric, FabricConfig, Path, Topology};
+use scq_mesh::{Coord, Fabric, FabricConfig, LinkHeatmap, Path, Topology};
 
 use crate::pipeline::{
     account_arrivals, check_epr_inputs, plan_launches, DistributionPolicy, EprConfig,
@@ -94,6 +94,9 @@ pub struct FabricEprResult {
     pub hottest_link_busy_cycles: u64,
     /// Total route hops over all halves.
     pub total_route_hops: u64,
+    /// Per-link busy/stall snapshot of the whole run — the congestion
+    /// signal the placement optimizer feeds on.
+    pub heatmap: LinkHeatmap,
 }
 
 impl FabricEprResult {
@@ -105,7 +108,7 @@ impl FabricEprResult {
 }
 
 /// Simulates route-aware EPR distribution for a located demand trace on
-/// a `topology`-shaped machine. See the [module docs](self) for the
+/// a `topology`-shaped machine. See the module docs at the top of this file for the
 /// three-phase model.
 ///
 /// # Panics
@@ -177,6 +180,7 @@ pub fn simulate_epr_on_fabric(
         peak_in_flight: stats.peak_in_flight,
         hottest_link_busy_cycles: fabric.hottest_link_busy_cycles(),
         total_route_hops,
+        heatmap: fabric.heatmap(),
     }
 }
 
@@ -279,6 +283,13 @@ mod tests {
         assert!(tight.pipeline.total_stall_cycles >= free.pipeline.total_stall_cycles);
         assert!(tight.pipeline.makespan > free.pipeline.makespan);
         assert!(tight.hottest_link_busy_cycles >= free.hottest_link_busy_cycles);
+        // The heatmap is the per-link decomposition of the aggregates.
+        assert_eq!(tight.heatmap.total_stall_cycles(), tight.link_stall_cycles);
+        assert_eq!(
+            tight.heatmap.hottest_link_busy_cycles(),
+            tight.hottest_link_busy_cycles
+        );
+        assert_eq!(free.heatmap.total_stall_cycles(), 0);
     }
 
     #[test]

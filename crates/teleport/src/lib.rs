@@ -8,18 +8,23 @@
 //! prefetchable — the property that distinguishes planar from
 //! double-defect machines under congestion.
 //!
-//! Four layers:
+//! Five layers:
 //!
 //! - [`schedule_simd`]: the Multi-SIMD region scheduler (one gate type
 //!   per region per timestep, teleports on region changes),
+//! - [`PlacementStrategy`]: where the data tiles go —
+//!   [`BaselinePlacement`] is the historical row-major floorplan,
+//!   [`CongestionAwarePlacement`] profiles the fabric and steers
+//!   high-demand tiles away from measured hot columns,
 //! - [`simulate_epr_on_fabric`]: the route-aware EPR pipeline — halves
 //!   fly real routes from factory tiles over the shared `scq-mesh`
 //!   fabric, with per-link swap-lane contention,
 //! - [`simulate_epr_distribution`]: the legacy flow-level pipeline of
 //!   Section 8.1, retained as the differential oracle the fabric must
 //!   match exactly under unlimited link capacity,
-//! - [`schedule_planar`]: the combined machine timeline in EC cycles,
-//!   with teleports consuming measured fabric arrival events.
+//! - [`schedule_planar`] / [`schedule_planar_with`]: the combined
+//!   machine timeline in EC cycles, with teleports consuming measured
+//!   fabric arrival events.
 //!
 //! # Examples
 //!
@@ -45,6 +50,7 @@
 
 mod fabric_pipeline;
 mod pipeline;
+mod placement;
 mod planar;
 mod simd;
 
@@ -55,7 +61,9 @@ pub use pipeline::{
     simulate_epr_distribution, window_sweep, DistributionPolicy, EprConfig, EprDemand,
     EprPipelineResult,
 };
+pub use placement::{BaselinePlacement, CongestionAwarePlacement, PlacementStrategy};
 pub use planar::{
-    hop_cycles_for_distance, schedule_planar, PlanarConfig, PlanarMachine, PlanarSchedule,
+    hop_cycles_for_distance, schedule_planar, schedule_planar_with, PlanarConfig, PlanarMachine,
+    PlanarSchedule,
 };
 pub use simd::{schedule_simd, SimdConfig, SimdSchedule};

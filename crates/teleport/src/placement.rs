@@ -1,0 +1,306 @@
+//! Injectable data-tile placement for the planar machine.
+//!
+//! PR 4 made the fabric *measure* per-link congestion; this module
+//! closes the loop by letting the measurement decide *where the data
+//! tiles go*. [`schedule_planar_with`](crate::schedule_planar_with)
+//! takes any [`PlacementStrategy`]:
+//!
+//! - [`BaselinePlacement`] reproduces the historical hard-coded
+//!   floorplan ([`PlanarMachine::new`]) bit for bit — the control arm
+//!   of every placement ablation.
+//! - [`CongestionAwarePlacement`] runs the profile-then-place loop:
+//!   simulate the EPR fabric on the current floorplan, read the
+//!   per-link [`LinkHeatmap`](scq_mesh::LinkHeatmap), ask the
+//!   `scq-layout` engine ([`optimize_placement`]) to relocate
+//!   high-demand tiles out of the hottest columns, and repeat until no
+//!   move improves the measured `(makespan, lane stalls)` cost or the
+//!   iteration cap is reached. Dimension-ordered routing makes columns
+//!   the natural steering axis: an EPR half crosses its factory row
+//!   horizontally, then descends the destination tile's column.
+//!
+//! Only strictly improving moves are accepted, so the optimized
+//! placement never has a longer makespan or more lane stalls than the
+//! baseline — the invariant `bench_guard` enforces on the committed
+//! `BENCH_epr.json`.
+
+use scq_layout::{optimize_placement, CongestionPlacerConfig, PlacementCost, PlacementOutcome};
+use scq_mesh::Coord;
+
+use crate::fabric_pipeline::simulate_epr_on_fabric;
+use crate::planar::{PlanarConfig, PlanarMachine};
+use crate::simd::SimdSchedule;
+
+/// A policy for laying out the planar machine's data tiles.
+///
+/// The strategy receives the SIMD schedule (whose per-teleport qubits
+/// are the communication demand) and the full planar configuration, and
+/// returns the machine the EPR fabric will run on.
+pub trait PlacementStrategy {
+    /// Human-readable strategy name (for reports and ablations).
+    fn name(&self) -> &'static str;
+
+    /// Lays out a machine for `num_qubits` data qubits under `config`,
+    /// given the demand trace in `simd`.
+    fn place(&self, num_qubits: u32, config: &PlanarConfig, simd: &SimdSchedule) -> PlanarMachine;
+}
+
+/// The historical floorplan: row-major data tiles in a near-square
+/// block, factories on the edge rows — exactly [`PlanarMachine::new`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaselinePlacement;
+
+impl PlacementStrategy for BaselinePlacement {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn place(&self, num_qubits: u32, config: &PlanarConfig, _simd: &SimdSchedule) -> PlanarMachine {
+        PlanarMachine::new(num_qubits, config.epr_factories)
+    }
+}
+
+/// Profile-then-place: start from the baseline floorplan, simulate the
+/// EPR fabric, and steer high-demand data tiles away from the measured
+/// hot columns (see the module docs at the top of this file).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CongestionAwarePlacement {
+    /// Search knobs forwarded to [`optimize_placement`].
+    pub placer: CongestionPlacerConfig,
+}
+
+impl CongestionAwarePlacement {
+    /// A congestion-aware placement with explicit search knobs.
+    pub fn new(placer: CongestionPlacerConfig) -> Self {
+        CongestionAwarePlacement { placer }
+    }
+
+    /// Like [`PlacementStrategy::place`], also returning what the
+    /// optimizer did — baseline vs optimized cost, moves accepted,
+    /// profiling simulations spent. Ablations and the perf report use
+    /// this to emit the placement section of `BENCH_epr.json`.
+    pub fn place_traced(
+        &self,
+        num_qubits: u32,
+        config: &PlanarConfig,
+        simd: &SimdSchedule,
+    ) -> (PlanarMachine, PlacementOutcome) {
+        let mut machine = PlanarMachine::new(num_qubits, config.epr_factories);
+        let demand = per_qubit_demand(num_qubits, simd);
+        let cells = data_cells(&machine);
+        let fabric_config = config.fabric_config();
+        let policy = config.policy;
+        let profile_machine = machine.clone();
+        let mut evaluate = |tiles: &[Coord]| {
+            let mut candidate = profile_machine.clone();
+            candidate.tiles = tiles.to_vec();
+            let result = simulate_epr_on_fabric(
+                &candidate.requests_for(simd),
+                policy,
+                &fabric_config,
+                candidate.topology,
+            );
+            (
+                PlacementCost {
+                    makespan: result.pipeline.makespan,
+                    lane_stalls: result.link_stall_cycles,
+                },
+                result.heatmap,
+            )
+        };
+        let mut tiles = machine.tiles.clone();
+        let outcome = optimize_placement(&mut tiles, &cells, &demand, &mut evaluate, &self.placer);
+        machine.tiles = tiles;
+        (machine, outcome)
+    }
+}
+
+impl PlacementStrategy for CongestionAwarePlacement {
+    fn name(&self) -> &'static str {
+        "congestion-aware"
+    }
+
+    fn place(&self, num_qubits: u32, config: &PlanarConfig, simd: &SimdSchedule) -> PlanarMachine {
+        self.place_traced(num_qubits, config, simd).0
+    }
+}
+
+/// Teleport demand per data qubit — how often each qubit's tile is the
+/// destination of an EPR half.
+fn per_qubit_demand(num_qubits: u32, simd: &SimdSchedule) -> Vec<u64> {
+    // Sized to the machine's tile list (exactly `num_qubits` entries,
+    // even zero) so the optimizer's demand/tiles alignment holds.
+    let mut demand = vec![0u64; num_qubits as usize];
+    for &q in &simd.teleport_qubits {
+        demand[q as usize] += 1;
+    }
+    demand
+}
+
+/// Every cell a data tile may occupy: the block between the two factory
+/// rows.
+fn data_cells(machine: &PlanarMachine) -> Vec<Coord> {
+    let topo = machine.topology;
+    (1..topo.height() - 1)
+        .flat_map(|y| (0..topo.width()).map(move |x| Coord::new(x, y)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{DistributionPolicy, EprConfig};
+    use crate::simd::{schedule_simd, SimdConfig};
+    use scq_ir::{Circuit, DependencyDag};
+
+    fn simd_for(circuit: &Circuit) -> SimdSchedule {
+        let dag = DependencyDag::from_circuit(circuit);
+        schedule_simd(circuit, &dag, &SimdConfig::default())
+    }
+
+    /// A circuit whose teleport demand piles onto one grid column:
+    /// with row-major baseline placement on a `w`-wide grid, qubits
+    /// `0, w, 2w, ...` all land in column 0, and heavy repeated CNOT/T
+    /// traffic on exactly those qubits saturates its swap lanes.
+    fn hot_column_circuit(n: u32, w: u32, layers: u32) -> Circuit {
+        let hot: Vec<u32> = (0..n).step_by(w as usize).collect();
+        let mut b = Circuit::builder("hot-column", n);
+        for q in 0..n {
+            b.h(q);
+        }
+        for _ in 0..layers {
+            for (i, &q) in hot.iter().enumerate() {
+                b.cnot(q, hot[(i + 1) % hot.len()]);
+                b.t(q);
+            }
+        }
+        b.finish()
+    }
+
+    fn contended_config() -> PlanarConfig {
+        PlanarConfig {
+            policy: DistributionPolicy::JustInTime { window: 64 },
+            code_distance: 5,
+            link_capacity: 1,
+            epr_factories: Some(2),
+            epr: EprConfig::default(),
+            simd: SimdConfig::default(),
+        }
+    }
+
+    #[test]
+    fn baseline_reproduces_the_hard_coded_floorplan() {
+        let c = hot_column_circuit(30, 6, 4);
+        let simd = simd_for(&c);
+        for factories in [None, Some(2), Some(5)] {
+            let config = PlanarConfig {
+                epr_factories: factories,
+                ..PlanarConfig::default()
+            };
+            let placed = BaselinePlacement.place(30, &config, &simd);
+            assert_eq!(placed, PlanarMachine::new(30, factories));
+        }
+    }
+
+    #[test]
+    fn congestion_aware_beats_baseline_on_a_hot_column() {
+        // All traffic converges on a handful of qubits that the
+        // row-major baseline stacks into the low columns; one swap lane
+        // per link makes those columns saturate.
+        let c = hot_column_circuit(36, 6, 12);
+        let simd = simd_for(&c);
+        let config = contended_config();
+        let fabric = config.fabric_config();
+
+        let baseline = BaselinePlacement.place(36, &config, &simd);
+        let base = simulate_epr_on_fabric(
+            &baseline.requests_for(&simd),
+            config.policy,
+            &fabric,
+            baseline.topology,
+        );
+        assert!(base.link_stall_cycles > 0, "scenario must be contended");
+
+        let (optimized, outcome) =
+            CongestionAwarePlacement::default().place_traced(36, &config, &simd);
+        let opt = simulate_epr_on_fabric(
+            &optimized.requests_for(&simd),
+            config.policy,
+            &fabric,
+            optimized.topology,
+        );
+        assert!(outcome.moves_accepted > 0, "{outcome:?}");
+        assert!(
+            opt.link_stall_cycles < base.link_stall_cycles,
+            "stalls {} !< {}",
+            opt.link_stall_cycles,
+            base.link_stall_cycles
+        );
+        assert!(opt.pipeline.makespan <= base.pipeline.makespan);
+        // The outcome reports exactly the measured costs.
+        assert_eq!(outcome.baseline.makespan, base.pipeline.makespan);
+        assert_eq!(outcome.baseline.lane_stalls, base.link_stall_cycles);
+        assert_eq!(outcome.optimized.makespan, opt.pipeline.makespan);
+        assert_eq!(outcome.optimized.lane_stalls, opt.link_stall_cycles);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let c = hot_column_circuit(36, 6, 12);
+        let simd = simd_for(&c);
+        let config = contended_config();
+        let (m1, o1) = CongestionAwarePlacement::default().place_traced(36, &config, &simd);
+        let (m2, o2) = CongestionAwarePlacement::default().place_traced(36, &config, &simd);
+        assert_eq!(m1, m2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn optimized_tiles_stay_on_legal_distinct_cells() {
+        let c = hot_column_circuit(36, 6, 12);
+        let simd = simd_for(&c);
+        let (m, _) =
+            CongestionAwarePlacement::default().place_traced(36, &contended_config(), &simd);
+        let mut seen = std::collections::HashSet::new();
+        for t in &m.tiles {
+            assert!(
+                t.y >= 1 && t.y < m.topology.height() - 1,
+                "tile {t} in a factory row"
+            );
+            assert!(t.x < m.topology.width());
+            assert!(seen.insert(*t), "tile {t} double-occupied");
+        }
+    }
+
+    #[test]
+    fn zero_qubit_circuit_places_cleanly() {
+        let c = Circuit::builder("empty", 0).finish();
+        let simd = simd_for(&c);
+        let (m, outcome) =
+            CongestionAwarePlacement::default().place_traced(0, &contended_config(), &simd);
+        assert!(m.tiles.is_empty());
+        assert_eq!(outcome.moves_accepted, 0);
+        // And the schedule path matches the baseline exactly.
+        let dag = DependencyDag::from_circuit(&c);
+        let opt = crate::planar::schedule_planar_with(
+            &c,
+            &dag,
+            &contended_config(),
+            &CongestionAwarePlacement::default(),
+        );
+        let base = crate::planar::schedule_planar(&c, &dag, &contended_config());
+        assert_eq!(opt, base);
+    }
+
+    #[test]
+    fn uncontended_runs_skip_optimization() {
+        let c = hot_column_circuit(16, 4, 2);
+        let simd = simd_for(&c);
+        let config = PlanarConfig {
+            link_capacity: scq_mesh::FabricConfig::UNLIMITED,
+            ..PlanarConfig::default()
+        };
+        let (m, outcome) = CongestionAwarePlacement::default().place_traced(16, &config, &simd);
+        assert_eq!(outcome.evaluations, 1, "stall-free: one profiling pass");
+        assert_eq!(m, PlanarMachine::new(16, None));
+    }
+}

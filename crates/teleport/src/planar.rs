@@ -20,6 +20,7 @@ use crate::fabric_pipeline::{
     simulate_epr_on_fabric, EprRequest, FabricEprConfig, FabricEprResult,
 };
 use crate::pipeline::{DistributionPolicy, EprConfig, EprPipelineResult};
+use crate::placement::{BaselinePlacement, PlacementStrategy};
 use crate::simd::{schedule_simd, SimdConfig, SimdSchedule};
 
 /// Configuration of a planar-machine scheduling run.
@@ -55,6 +56,25 @@ impl Default for PlanarConfig {
             code_distance: 9,
             link_capacity: 4,
             epr_factories: None,
+        }
+    }
+}
+
+impl PlanarConfig {
+    /// The effective fabric parameters of a run at this configuration:
+    /// flow-level knobs with the hop latency scaled by the code
+    /// distance (a swap chain crosses `2d-1` qubit positions per tile),
+    /// plus the per-link swap-lane capacity. Both [`schedule_planar`]
+    /// and the placement profiling pass price candidate layouts with
+    /// exactly this configuration, so the optimizer optimizes the
+    /// metric the schedule is measured by.
+    pub fn fabric_config(&self) -> FabricEprConfig {
+        FabricEprConfig {
+            epr: EprConfig {
+                hop_cycles: self.epr.hop_cycles * hop_cycles_for_distance(self.code_distance),
+                ..self.epr
+            },
+            link_capacity: self.link_capacity,
         }
     }
 }
@@ -141,6 +161,9 @@ impl PlanarMachine {
 /// Result of scheduling a circuit on the planar architecture.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PlanarSchedule {
+    /// The floorplan the run was scheduled on (baseline or
+    /// placement-optimized).
+    pub machine: PlanarMachine,
     /// Total EC cycles, including EPR distribution stalls.
     pub cycles: u64,
     /// Dependency-limited logical timesteps (the critical-path bound for
@@ -187,25 +210,43 @@ pub fn schedule_planar(
     dag: &DependencyDag,
     config: &PlanarConfig,
 ) -> PlanarSchedule {
+    schedule_planar_with(circuit, dag, config, &BaselinePlacement)
+}
+
+/// Like [`schedule_planar`], but laying the machine out with an
+/// injected [`PlacementStrategy`] instead of the hard-coded baseline
+/// floorplan. [`BaselinePlacement`] reproduces [`schedule_planar`] bit
+/// for bit; [`CongestionAwarePlacement`](crate::CongestionAwarePlacement)
+/// first profiles the baseline on the fabric and then steers data
+/// tiles away from the measured hot columns.
+///
+/// # Panics
+///
+/// As [`schedule_planar`].
+pub fn schedule_planar_with(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    config: &PlanarConfig,
+    placement: &dyn PlacementStrategy,
+) -> PlanarSchedule {
     let simd = schedule_simd(circuit, dag, &config.simd);
-    let machine = PlanarMachine::new(circuit.num_qubits(), config.epr_factories);
+    let machine = placement.place(circuit.num_qubits(), config, &simd);
     let requests = machine.requests_for(&simd);
-    let fabric_config = FabricEprConfig {
-        epr: EprConfig {
-            hop_cycles: config.epr.hop_cycles * hop_cycles_for_distance(config.code_distance),
-            ..config.epr
-        },
-        link_capacity: config.link_capacity,
-    };
     let FabricEprResult {
         pipeline: epr,
         link_stall_cycles,
         peak_in_flight,
         hottest_link_busy_cycles,
         ..
-    } = simulate_epr_on_fabric(&requests, config.policy, &fabric_config, machine.topology);
+    } = simulate_epr_on_fabric(
+        &requests,
+        config.policy,
+        &config.fabric_config(),
+        machine.topology,
+    );
     let cycles = simd.timesteps.max(epr.makespan);
     PlanarSchedule {
+        machine,
         cycles,
         timesteps: simd.timesteps,
         simd,

@@ -18,7 +18,7 @@ use scq_ir::{Circuit, DependencyDag, Gate};
 pub struct SimdConfig {
     /// Number of reconfigurable SIMD regions operating concurrently.
     pub regions: u32,
-    /// Whether to apply the locality-based mapping of [35], which keeps
+    /// Whether to apply the locality-based mapping of Heckey et al. \[35\], which keeps
     /// a qubit in its region across consecutive uses instead of
     /// returning it to memory after every operation.
     pub locality_aware: bool,
@@ -26,7 +26,7 @@ pub struct SimdConfig {
 
 impl Default for SimdConfig {
     /// Four SIMD regions with locality-aware mapping, the configuration
-    /// the paper's toolflow inherits from [35].
+    /// the paper's toolflow inherits from \[35\].
     fn default() -> Self {
         SimdConfig {
             regions: 4,
