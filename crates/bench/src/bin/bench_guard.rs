@@ -19,6 +19,13 @@
 //!    algorithmic invariant (only strictly improving moves are
 //!    accepted), so any violation is a real bug, never timing noise.
 //!    The check is skipped with a note when the file is absent.
+//! 3. **Degradation envelope** (`BENCH_epr.json`): every completed row
+//!    of the `degradation` section (fig6 apps at the committed defect
+//!    rate) must keep its makespan inflation within the recorded
+//!    `degradation_envelope`, and at least one row must have completed
+//!    at all. Schedules are cycle-deterministic, so a violation is a
+//!    routing/scheduling regression, never timing noise. Skipped with a
+//!    note when the file predates the section.
 //!
 //! CI runs this right after `perf_report` regenerates both files.
 
@@ -88,6 +95,32 @@ fn check_placement(json: &str) -> Result<usize, String> {
     Ok(base_span.len())
 }
 
+/// Checks the degradation section of an EPR report: every completed
+/// row's multiplier must stay within the recorded envelope, and at
+/// least one row must have completed. Returns `Ok(None)` when the file
+/// has no degradation section (reports from before the fault layer).
+fn check_degradation(json: &str) -> Result<Option<usize>, String> {
+    let Some(section) = json.find("\"degradation\"").map(|i| &json[i..]) else {
+        return Ok(None);
+    };
+    let Some(envelope) = parse_field(json, "degradation_envelope") else {
+        return Err("degradation rows without a degradation_envelope".into());
+    };
+    let multipliers = parse_fields(section, "degradation_multiplier");
+    if multipliers.is_empty() {
+        return Err("no degradation row completed (all unroutable?)".into());
+    }
+    for (i, &m) in multipliers.iter().enumerate() {
+        if m > envelope {
+            return Err(format!(
+                "row {i}: degradation multiplier {m:.2}x exceeds the committed envelope \
+                 {envelope:.2}x"
+            ));
+        }
+    }
+    Ok(Some(multipliers.len()))
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let path = args.next().unwrap_or_else(|| "BENCH_sched.json".into());
@@ -123,17 +156,34 @@ fn main() -> ExitCode {
     println!("bench_guard: ok — geomean scheduler speedup {geomean:.2}x >= floor {floor:.2}x");
 
     match std::fs::read_to_string(&epr_path) {
-        Ok(epr_text) => match check_placement(&epr_text) {
-            Ok(rows) => {
-                println!(
-                    "bench_guard: ok — placement ablation optimized <= baseline on all {rows} rows"
-                );
+        Ok(epr_text) => {
+            match check_placement(&epr_text) {
+                Ok(rows) => {
+                    println!(
+                        "bench_guard: ok — placement ablation optimized <= baseline on all {rows} rows"
+                    );
+                }
+                Err(e) => {
+                    eprintln!("bench_guard: FAIL — placement ablation in {epr_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("bench_guard: FAIL — placement ablation in {epr_path}: {e}");
-                return ExitCode::FAILURE;
+            match check_degradation(&epr_text) {
+                Ok(Some(rows)) => {
+                    println!(
+                        "bench_guard: ok — degradation within the committed envelope on all \
+                         {rows} completed rows"
+                    );
+                }
+                Ok(None) => {
+                    println!("bench_guard: note — {epr_path} has no degradation section, skipping");
+                }
+                Err(e) => {
+                    eprintln!("bench_guard: FAIL — degradation study in {epr_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
+        }
         Err(e) => {
             println!("bench_guard: note — skipping placement check ({epr_path}: {e})");
         }
@@ -143,7 +193,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{check_placement, parse_field, parse_fields};
+    use super::{check_degradation, check_placement, parse_field, parse_fields};
 
     #[test]
     fn parses_floats_ints_and_scientific() {
@@ -201,5 +251,67 @@ mod tests {
     #[test]
     fn placement_check_rejects_missing_section() {
         assert!(check_placement("{\"points\": []}").is_err());
+    }
+
+    fn degradation_json(envelope: f64, multipliers: &[f64], unroutable: usize) -> String {
+        let mut rows: Vec<String> = multipliers
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"app\": \"x\", \"backend\": \"braid\", \"clean_makespan\": 100, \
+                     \"degraded_makespan\": 120, \"degradation_multiplier\": {m}, \
+                     \"status\": \"ok\"}}"
+                )
+            })
+            .collect();
+        for _ in 0..unroutable {
+            rows.push(
+                "{\"app\": \"x\", \"backend\": \"teleport\", \"clean_makespan\": 100, \
+                 \"status\": \"unroutable\", \"error\": \"no defect-free route\"}"
+                    .into(),
+            );
+        }
+        format!(
+            "{{\"degradation_envelope\": {envelope}, \"degradation\": [{}]}}",
+            rows.join(", ")
+        )
+    }
+
+    #[test]
+    fn degradation_check_accepts_rows_within_the_envelope() {
+        let json = degradation_json(8.0, &[1.0, 2.5, 7.99], 1);
+        assert_eq!(check_degradation(&json), Ok(Some(3)));
+    }
+
+    #[test]
+    fn degradation_check_rejects_an_envelope_breach() {
+        let json = degradation_json(8.0, &[1.0, 8.01], 0);
+        assert!(check_degradation(&json).unwrap_err().contains("envelope"));
+    }
+
+    #[test]
+    fn degradation_check_rejects_all_rows_unroutable() {
+        let json = degradation_json(8.0, &[], 4);
+        assert!(check_degradation(&json)
+            .unwrap_err()
+            .contains("no degradation row completed"));
+    }
+
+    #[test]
+    fn degradation_check_skips_reports_without_the_section() {
+        assert_eq!(check_degradation("{\"placement\": []}"), Ok(None));
+    }
+
+    #[test]
+    fn degradation_rows_do_not_confuse_the_placement_check() {
+        // The placement parser scans from its section to the end of the
+        // document; the degradation field names must not collide.
+        let placement = "{\"placement\": [{\"app\": \"x\", \"baseline_makespan\": 10, \
+                         \"optimized_makespan\": 9, \"baseline_lane_stalls\": 5, \
+                         \"optimized_lane_stalls\": 4}], ";
+        let degradation = degradation_json(8.0, &[1.5], 1);
+        let combined = format!("{placement}{}", &degradation[1..]);
+        assert_eq!(check_placement(&combined), Ok(1));
+        assert_eq!(check_degradation(&combined), Ok(Some(1)));
     }
 }

@@ -14,18 +14,41 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use scq_bench::{fig6_workloads, parallel_map, run_policy, run_policy_reference};
+use scq_bench::{
+    fig6_workloads, parallel_map, run_planar_on_defects, run_policy, run_policy_on_defects,
+    run_policy_reference,
+};
 use scq_braid::Policy;
 use scq_ir::DependencyDag;
 use scq_teleport::{
-    schedule_simd, simulate_epr_distribution, simulate_epr_on_fabric, CongestionAwarePlacement,
-    DistributionPolicy, EprConfig, EprDemand, FabricEprConfig, PlanarConfig, PlanarMachine,
-    SimdConfig,
+    schedule_planar, schedule_simd, simulate_epr_distribution, simulate_epr_on_fabric,
+    CongestionAwarePlacement, DistributionPolicy, EprConfig, EprDemand, FabricEprConfig,
+    PlanarConfig, PlanarMachine, SimdConfig,
 };
+
+/// Writes a regenerated report, or exits nonzero with a diagnostic —
+/// an unwritable working directory must not panic the toolflow.
+fn write_report(path: &str, json: &str) {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("error: {}", scq_ir::CliError::io(path, &e));
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+}
 
 const CODE_DISTANCE: u32 = 5;
 /// Swap lanes per link for the constrained-fabric EPR points.
 const EPR_LANES: u32 = 2;
+/// Dead-resource rate for the degradation study (paper comparison on
+/// non-ideal hardware).
+const DEFECT_RATE: f64 = 0.02;
+/// Seed for defect sampling and transient-fault draws — fixed so
+/// `BENCH_epr.json` is machine-independent.
+const DEFECT_SEED: u64 = 20702;
+/// Committed ceiling on the makespan inflation any degradation row may
+/// show at [`DEFECT_RATE`]; `bench_guard` fails when a regenerated row
+/// exceeds it.
+const DEGRADATION_ENVELOPE: f64 = 8.0;
 
 struct Point {
     app: &'static str,
@@ -139,8 +162,7 @@ fn main() {
     let _ = writeln!(json, "  \"parallel_grid_secs\": {parallel_grid_secs:.6}");
     json.push('}');
     json.push('\n');
-    std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
-    println!("\nwrote BENCH_sched.json");
+    write_report("BENCH_sched.json", &json);
 
     epr_report(&workloads);
 }
@@ -179,6 +201,82 @@ impl EprPoint {
     fn contention_added(&self) -> f64 {
         self.makespan_constrained as f64 / self.makespan_free.max(1) as f64 - 1.0
     }
+}
+
+/// One degradation row: a fig6 application on one backend, clean versus
+/// 2%-defective hardware (same seed for sampling and transient faults).
+struct DegradationPoint {
+    app: &'static str,
+    backend: &'static str,
+    clean_makespan: u64,
+    /// Degraded makespan, or the structured diagnostic when the
+    /// defects cut the machine apart.
+    outcome: Result<u64, String>,
+}
+
+impl DegradationPoint {
+    fn multiplier(&self) -> Option<f64> {
+        self.outcome
+            .as_ref()
+            .ok()
+            .map(|&m| m as f64 / self.clean_makespan.max(1) as f64)
+    }
+}
+
+/// Runs the (defect-rate x app) degradation study on both backends.
+/// Every row either completes with a bounded multiplier or reports a
+/// structured unroutable diagnostic — a panic or hang here is a bug.
+fn degradation_report(
+    workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)],
+) -> Vec<DegradationPoint> {
+    let grid: Vec<(usize, &'static str)> = (0..workloads.len())
+        .flat_map(|w| ["braid", "teleport"].into_iter().map(move |b| (w, b)))
+        .collect();
+    parallel_map(&grid, |&(w, backend)| {
+        let (bench, circuit) = &workloads[w];
+        match backend {
+            "braid" => {
+                let clean = run_policy(circuit, Policy::P6, CODE_DISTANCE).cycles;
+                let outcome = run_policy_on_defects(
+                    circuit,
+                    Policy::P6,
+                    CODE_DISTANCE,
+                    DEFECT_RATE,
+                    DEFECT_SEED,
+                )
+                .map(|s| s.cycles)
+                .map_err(|e| e.to_string());
+                DegradationPoint {
+                    app: bench.name(),
+                    backend,
+                    clean_makespan: clean,
+                    outcome,
+                }
+            }
+            _ => {
+                let dag = DependencyDag::from_circuit(circuit);
+                let clean = schedule_planar(
+                    circuit,
+                    &dag,
+                    &PlanarConfig {
+                        code_distance: CODE_DISTANCE,
+                        ..Default::default()
+                    },
+                )
+                .cycles;
+                let outcome =
+                    run_planar_on_defects(circuit, CODE_DISTANCE, DEFECT_RATE, DEFECT_SEED)
+                        .map(|s| s.cycles)
+                        .map_err(|e| e.to_string());
+                DegradationPoint {
+                    app: bench.name(),
+                    backend,
+                    clean_makespan: clean,
+                    outcome,
+                }
+            }
+        }
+    })
 }
 
 fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
@@ -340,6 +438,48 @@ fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
         "congestion-aware placement improved no contended point"
     );
 
+    let degradation = degradation_report(workloads);
+    println!(
+        "\nDegradation study ({:.0}% sampled defects, seed {DEFECT_SEED}, envelope {DEGRADATION_ENVELOPE}x)",
+        DEFECT_RATE * 100.0
+    );
+    println!();
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>11}",
+        "app", "backend", "clean span", "degraded", "multiplier"
+    );
+    for p in &degradation {
+        match &p.outcome {
+            Ok(m) => println!(
+                "{:<10} {:>9} {:>12} {:>12} {:>10.2}x",
+                p.app,
+                p.backend,
+                p.clean_makespan,
+                m,
+                p.multiplier().unwrap_or(0.0),
+            ),
+            Err(e) => println!(
+                "{:<10} {:>9} {:>12} {:>12}  unroutable: {e}",
+                p.app, p.backend, p.clean_makespan, "-",
+            ),
+        }
+    }
+    for p in &degradation {
+        if let Some(m) = p.multiplier() {
+            assert!(
+                m <= DEGRADATION_ENVELOPE,
+                "{} ({}): degradation multiplier {m:.2}x exceeds the committed envelope \
+                 {DEGRADATION_ENVELOPE}x",
+                p.app,
+                p.backend
+            );
+        }
+    }
+    assert!(
+        degradation.iter().any(|p| p.outcome.is_ok()),
+        "every degradation row came back unroutable at {DEFECT_RATE}"
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"policy\": \"jit_window_64\",");
     let _ = writeln!(json, "  \"constrained_link_capacity\": {EPR_LANES},");
@@ -381,9 +521,39 @@ fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
             p.place_secs,
         );
     }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"defect_rate\": {DEFECT_RATE},");
+    let _ = writeln!(json, "  \"defect_seed\": {DEFECT_SEED},");
+    let _ = writeln!(json, "  \"degradation_envelope\": {DEGRADATION_ENVELOPE},");
+    let _ = writeln!(json, "  \"degradation\": [");
+    for (i, p) in degradation.iter().enumerate() {
+        let comma = if i + 1 < degradation.len() { "," } else { "" };
+        match &p.outcome {
+            Ok(m) => {
+                let _ = writeln!(
+                    json,
+                    "    {{\"app\": \"{}\", \"backend\": \"{}\", \"clean_makespan\": {}, \"degraded_makespan\": {}, \"degradation_multiplier\": {:.4}, \"status\": \"ok\"}}{comma}",
+                    p.app,
+                    p.backend,
+                    p.clean_makespan,
+                    m,
+                    p.multiplier().unwrap_or(0.0),
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(
+                    json,
+                    "    {{\"app\": \"{}\", \"backend\": \"{}\", \"clean_makespan\": {}, \"status\": \"unroutable\", \"error\": \"{}\"}}{comma}",
+                    p.app,
+                    p.backend,
+                    p.clean_makespan,
+                    e.replace('"', "'"),
+                );
+            }
+        }
+    }
     let _ = writeln!(json, "  ]");
     json.push('}');
     json.push('\n');
-    std::fs::write("BENCH_epr.json", &json).expect("write BENCH_epr.json");
-    println!("\nwrote BENCH_epr.json");
+    write_report("BENCH_epr.json", &json);
 }

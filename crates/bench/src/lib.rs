@@ -29,9 +29,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use scq_apps::{ising, sha1, square_root, Benchmark, IsingParams, Sha1Params, SqParams};
-use scq_braid::{schedule, schedule_reference, BraidConfig, BraidSchedule, Policy};
+use scq_braid::{
+    braid_mesh_dims, schedule, schedule_on_defects, schedule_reference, BraidConfig, BraidSchedule,
+    Policy, ScheduleError,
+};
 use scq_ir::{Circuit, DependencyDag, InteractionGraph};
 use scq_layout::place;
+use scq_mesh::{CommError, DefectMap, Topology};
+use scq_teleport::{schedule_planar_on_defects, PlanarConfig, PlanarSchedule};
 
 /// Formats a row of fixed-width cells.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
@@ -87,6 +92,82 @@ pub fn run_policy(circuit: &Circuit, policy: Policy, code_distance: u32) -> Brai
         ..Default::default()
     };
     schedule(circuit, &dag, &layout, &config).expect("figure 6 workloads schedule cleanly")
+}
+
+/// [`run_policy`] without the clean-workload assumption: scheduling
+/// failures come back as values for harnesses that must not panic.
+///
+/// # Errors
+///
+/// Forwards the scheduler's [`ScheduleError`].
+pub fn run_policy_checked(
+    circuit: &Circuit,
+    policy: Policy,
+    code_distance: u32,
+) -> Result<BraidSchedule, ScheduleError> {
+    let dag = DependencyDag::from_circuit(circuit);
+    let graph = InteractionGraph::from_circuit(circuit);
+    let layout = place(&graph, policy.layout_strategy(), None);
+    let config = BraidConfig {
+        policy,
+        code_distance,
+        ..Default::default()
+    };
+    schedule(circuit, &dag, &layout, &config)
+}
+
+/// [`run_policy`] on a braid mesh with fabrication defects sampled at
+/// `rate` from `seed` (at the mesh dimensions this circuit's layout
+/// implies). Rate 0 is bit-identical to [`run_policy`].
+///
+/// # Errors
+///
+/// Forwards the scheduler's [`ScheduleError`]; circuits the defects cut
+/// off report [`ScheduleError::Unroutable`] rather than panicking.
+pub fn run_policy_on_defects(
+    circuit: &Circuit,
+    policy: Policy,
+    code_distance: u32,
+    rate: f64,
+    seed: u64,
+) -> Result<BraidSchedule, ScheduleError> {
+    let dag = DependencyDag::from_circuit(circuit);
+    let graph = InteractionGraph::from_circuit(circuit);
+    let layout = place(&graph, policy.layout_strategy(), None);
+    let config = BraidConfig {
+        policy,
+        code_distance,
+        ..Default::default()
+    };
+    let (mw, mh) = braid_mesh_dims(&layout, circuit);
+    let map = DefectMap::sample(Topology::new(mw, mh), rate, seed);
+    schedule_on_defects(circuit, &dag, &layout, &config, &map)
+}
+
+/// The planar counterpart of [`run_policy_on_defects`]: schedules the
+/// Multi-SIMD + EPR pipeline on a machine with defects sampled at
+/// `rate` from `seed` (at this circuit's own grid dimensions; `seed`
+/// also keys the transient-fault draws on flaky links). Rate 0 is
+/// bit-identical to the clean planar schedule.
+///
+/// # Errors
+///
+/// A structured [`CommError`] when the defects make the machine
+/// unbuildable or the demand unroutable.
+pub fn run_planar_on_defects(
+    circuit: &Circuit,
+    code_distance: u32,
+    rate: f64,
+    seed: u64,
+) -> Result<PlanarSchedule, CommError> {
+    let dag = DependencyDag::from_circuit(circuit);
+    let config = PlanarConfig {
+        code_distance,
+        ..Default::default()
+    };
+    let (gw, gh) = scq_teleport::PlanarMachine::grid_dims(circuit.num_qubits());
+    let map = DefectMap::sample(Topology::new(gw, gh), rate, seed);
+    schedule_planar_on_defects(circuit, &dag, &config, &map, seed)
 }
 
 /// [`run_policy`] driven by the retained naive-stepping engine — the
@@ -192,6 +273,30 @@ mod tests {
             run_policy(&c, Policy::P3, 3),
             run_policy_reference(&c, Policy::P3, 3)
         );
+    }
+
+    #[test]
+    fn zero_rate_defect_runners_are_bit_identical_to_the_clean_ones() {
+        let mut b = Circuit::builder("smoke", 6);
+        b.cnot(0, 1).cnot(2, 3).t(4).cnot(1, 2).cnot(4, 5);
+        let c = b.finish();
+        let clean = run_policy(&c, Policy::P6, 3);
+        let defected = run_policy_on_defects(&c, Policy::P6, 3, 0.0, 99).unwrap();
+        assert_eq!(clean, defected);
+        let planar = run_planar_on_defects(&c, 3, 0.0, 99).unwrap();
+        assert_eq!(planar.transient_faults, 0);
+    }
+
+    #[test]
+    fn defect_runners_return_errors_instead_of_panicking() {
+        let mut b = Circuit::builder("doomed", 4);
+        b.cnot(0, 1).cnot(2, 3).cnot(1, 2);
+        let c = b.finish();
+        // At an extreme rate nearly everything is dead: both runners
+        // must come back with structured errors or stretched-but-valid
+        // schedules — never a panic.
+        let _ = run_policy_on_defects(&c, Policy::P6, 3, 0.9, 5);
+        let _ = run_planar_on_defects(&c, 3, 0.9, 5);
     }
 
     #[test]

@@ -8,8 +8,13 @@
 //! `scq-braid`'s differential tests; this suite pins the paper-scale
 //! workloads.)
 
-use scq_bench::{fig6_workloads, parallel_map, run_policy, run_policy_reference};
+use scq_bench::{
+    fig6_workloads, parallel_map, run_planar_on_defects, run_policy, run_policy_on_defects,
+    run_policy_reference,
+};
 use scq_braid::Policy;
+use scq_ir::DependencyDag;
+use scq_teleport::{schedule_planar, PlanarConfig};
 
 const CODE_DISTANCE: u32 = 5;
 
@@ -29,6 +34,67 @@ fn fast_path_matches_reference_on_fig6_grid() {
         } else {
             Some(format!(
                 "{} under {policy}: fast {fast:?} != reference {naive:?}",
+                bench.name()
+            ))
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+}
+
+/// The fault layer's empty-map contract on the braid backend: a rate-0
+/// sampled `DefectMap` must leave every fig6 schedule bit-identical to
+/// the clean path under every policy.
+#[test]
+fn empty_defect_map_braid_schedules_match_clean_on_fig6_grid() {
+    let workloads = fig6_workloads();
+    let points: Vec<(usize, Policy)> = (0..workloads.len())
+        .flat_map(|w| Policy::ALL.iter().map(move |&p| (w, p)))
+        .collect();
+    let mismatches: Vec<String> = parallel_map(&points, |&(w, policy)| {
+        let (bench, circuit) = &workloads[w];
+        let clean = run_policy(circuit, policy, CODE_DISTANCE);
+        let defected = run_policy_on_defects(circuit, policy, CODE_DISTANCE, 0.0, 424242)
+            .expect("rate-0 runs schedule cleanly");
+        if clean == defected {
+            None
+        } else {
+            Some(format!(
+                "{} under {policy}: empty defect map perturbed the schedule",
+                bench.name()
+            ))
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+}
+
+/// The same contract on the planar backend: a rate-0 map must be
+/// bit-identical to `schedule_planar` on every fig6 workload.
+#[test]
+fn empty_defect_map_planar_schedules_match_clean_on_fig6_workloads() {
+    let workloads = fig6_workloads();
+    let mismatches: Vec<String> = parallel_map(&workloads, |(bench, circuit)| {
+        let dag = DependencyDag::from_circuit(circuit);
+        let clean = schedule_planar(
+            circuit,
+            &dag,
+            &PlanarConfig {
+                code_distance: CODE_DISTANCE,
+                ..Default::default()
+            },
+        );
+        let defected = run_planar_on_defects(circuit, CODE_DISTANCE, 0.0, 424242)
+            .expect("rate-0 runs schedule cleanly");
+        if clean == defected {
+            None
+        } else {
+            Some(format!(
+                "{}: empty defect map perturbed the planar schedule",
                 bench.name()
             ))
         }

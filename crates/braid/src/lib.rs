@@ -67,7 +67,8 @@ mod trace;
 pub use policy::Policy;
 pub use reference::{schedule_reference, schedule_traced_reference};
 pub use scheduler::{
-    factory_sites, op_latency_cycles, schedule, schedule_circuit, schedule_traced,
-    schedule_with_sink, BraidConfig, BraidSchedule, ScheduleError, TGateModel,
+    braid_mesh_dims, factory_sites, op_latency_cycles, schedule, schedule_circuit,
+    schedule_on_defects, schedule_traced, schedule_traced_on_defects, schedule_with_sink,
+    BraidConfig, BraidSchedule, ScheduleError, TGateModel,
 };
 pub use trace::{BraidEvent, BraidTrace, EventCollector, NoTrace, TraceConflict, TraceSink};

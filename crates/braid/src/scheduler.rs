@@ -8,7 +8,7 @@ use std::fmt;
 
 use scq_ir::{Circuit, DependencyDag, Gate};
 use scq_layout::Layout;
-use scq_mesh::{Coord, Mesh, Path, RouteScratch};
+use scq_mesh::{CommError, Coord, DefectMap, Mesh, Path, RouteScratch};
 
 use crate::policy::{sort_candidates, Candidate, Policy};
 use crate::trace::{BraidTrace, EventCollector, NoTrace, TraceSink};
@@ -153,6 +153,10 @@ pub enum ScheduleError {
         /// Qubits in the layout.
         layout_qubits: usize,
     },
+    /// Fabrication defects cut the mesh so the circuit cannot be
+    /// scheduled: a braid endpoint sits on a dead tile, a required
+    /// qubit pair has no defect-free route, or every factory site died.
+    Unroutable(CommError),
 }
 
 impl fmt::Display for ScheduleError {
@@ -168,11 +172,25 @@ impl fmt::Display for ScheduleError {
                 f,
                 "layout places {layout_qubits} qubits but the circuit uses {circuit_qubits}"
             ),
+            ScheduleError::Unroutable(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl Error for ScheduleError {}
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Unroutable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CommError> for ScheduleError {
+    fn from(e: CommError) -> Self {
+        ScheduleError::Unroutable(e)
+    }
+}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum OpState {
@@ -246,6 +264,67 @@ pub fn schedule(
     schedule_with_sink(circuit, dag, layout, config, &mut sink)
 }
 
+/// Like [`schedule`], but on a defect-laden mesh: braids route around
+/// the map's dead routers and links (the mesh holds them permanently
+/// claimed), dead factory sites are skipped, and T gates only consider
+/// factories with a live route to their target.
+///
+/// The map must be built on the router-resolution dimensions returned
+/// by [`braid_mesh_dims`]. With an empty map this is exactly
+/// [`schedule`] — bit-identical schedules, enforced by the equivalence
+/// suites.
+///
+/// # Errors
+///
+/// As [`schedule`], plus [`ScheduleError::Unroutable`] when the defects
+/// cut the mesh: a circuit qubit's tile is dead, a two-qubit pair has
+/// no defect-free route, a T-gate target is unreachable from every live
+/// factory, or all factory sites died.
+///
+/// # Panics
+///
+/// Panics if `dag` was not built from `circuit` or the map's dimensions
+/// differ from [`braid_mesh_dims`].
+pub fn schedule_on_defects(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    layout: &Layout,
+    config: &BraidConfig,
+    defects: &DefectMap,
+) -> Result<BraidSchedule, ScheduleError> {
+    let mut sink = NoTrace;
+    schedule_with_sink_on(circuit, dag, layout, config, Some(defects), &mut sink)
+}
+
+/// Like [`schedule_traced`], but on a defect-laden mesh (see
+/// [`schedule_on_defects`]).
+///
+/// # Errors
+///
+/// As [`schedule_on_defects`].
+///
+/// # Panics
+///
+/// As [`schedule_on_defects`].
+pub fn schedule_traced_on_defects(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    layout: &Layout,
+    config: &BraidConfig,
+    defects: &DefectMap,
+) -> Result<(BraidSchedule, BraidTrace), ScheduleError> {
+    let mut sink = EventCollector::default();
+    let stats = schedule_with_sink_on(circuit, dag, layout, config, Some(defects), &mut sink)?;
+    let (mesh_width, mesh_height) = trace_mesh_dims(layout, circuit.is_empty());
+    let trace = BraidTrace {
+        mesh_width,
+        mesh_height,
+        cycles: stats.cycles,
+        events: sink.events,
+    };
+    Ok((stats, trace))
+}
+
 /// Like [`schedule`], but also returns the [`BraidTrace`] — the static,
 /// replayable schedule artifact with every braid leg's route and
 /// open/close cycles. [`BraidTrace::validate`] proves it conflict-free.
@@ -289,6 +368,14 @@ fn trace_mesh_dims(layout: &Layout, is_empty: bool) -> (u32, u32) {
     (2 * w + 1, 2 * h + 1)
 }
 
+/// Router-mesh dimensions the braid engine uses for this layout and
+/// circuit — build braid-resolution [`DefectMap`]s on exactly these
+/// (the mesh is double the tile grid's resolution, plus the border
+/// channels).
+pub fn braid_mesh_dims(layout: &Layout, circuit: &Circuit) -> (u32, u32) {
+    trace_mesh_dims(layout, circuit.is_empty())
+}
+
 /// Mutable simulation state shared by the release and issue phases.
 struct Engine {
     mesh: Mesh,
@@ -314,6 +401,10 @@ struct IssueEnv<'a> {
     anchors: &'a [Coord],
     /// Route hold time in cycles (`d + 1`).
     hold: u64,
+    /// On a defect-laden mesh: per T-gate qubit, which live factories
+    /// have a defect-free route to it (empty rows for non-T qubits;
+    /// empty outer slice on a pristine mesh — no filtering).
+    factory_reach: &'a [Vec<bool>],
 }
 
 impl Engine {
@@ -353,10 +444,17 @@ impl Engine {
             )
         } else {
             // T gate from the nearest available factory.
-            let target = env.anchors[inst.qubits()[0].raw() as usize];
+            let q = inst.qubits()[0].raw() as usize;
+            let target = env.anchors[q];
             let mut best: Option<(u32, usize)> = None;
             for (fi, &site) in env.factories.iter().enumerate() {
                 if self.factory_free_at[fi] > t {
+                    continue;
+                }
+                // On a cut mesh, skip factories the defects wall off
+                // from this target — claims against them can never
+                // succeed.
+                if !env.factory_reach.is_empty() && !env.factory_reach[q][fi] {
                     continue;
                 }
                 let dist = site.manhattan(target);
@@ -486,7 +584,6 @@ impl Engine {
 /// # Panics
 ///
 /// Panics if `dag` was not built from `circuit`.
-#[allow(clippy::too_many_lines)]
 pub fn schedule_with_sink<S: TraceSink>(
     circuit: &Circuit,
     dag: &DependencyDag,
@@ -494,6 +591,22 @@ pub fn schedule_with_sink<S: TraceSink>(
     config: &BraidConfig,
     sink: &mut S,
 ) -> Result<BraidSchedule, ScheduleError> {
+    schedule_with_sink_on(circuit, dag, layout, config, None, sink)
+}
+
+/// The engine behind every public entry point, optionally on a
+/// defect-laden mesh. An empty (or absent) map takes the exact code
+/// path of the defect-free engine, preserving bit-identical schedules.
+#[allow(clippy::too_many_lines)]
+fn schedule_with_sink_on<S: TraceSink>(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    layout: &Layout,
+    config: &BraidConfig,
+    defects: Option<&DefectMap>,
+    sink: &mut S,
+) -> Result<BraidSchedule, ScheduleError> {
+    let defects = defects.filter(|m| !m.is_empty());
     assert_eq!(dag.len(), circuit.len(), "dag does not match circuit");
     if layout.num_qubits() < circuit.num_qubits() as usize {
         return Err(ScheduleError::LayoutMismatch {
@@ -533,10 +646,79 @@ pub fn schedule_with_sink<S: TraceSink>(
     let factory_count = config
         .factory_count
         .unwrap_or_else(|| layout.grid_width().max(2));
-    let factories = factory_sites(mesh_w, mesh_h, factory_count);
+    let mut factories = factory_sites(mesh_w, mesh_h, factory_count);
+
+    // Defect admission: prove up front that the circuit is routable at
+    // all on the cut mesh (dead anchors, disconnected pairs, dead or
+    // unreachable factories), so a doomed run fails structured and fast
+    // instead of starving until the cycle limit.
+    let mut factory_reach: Vec<Vec<bool>> = Vec::new();
+    if let Some(map) = defects {
+        let (dw, dh) = (map.topology().width(), map.topology().height());
+        assert!(
+            dw == mesh_w && dh == mesh_h,
+            "defect map is {dw}x{dh} but the braid mesh is {mesh_w}x{mesh_h}"
+        );
+        for q in 0..circuit.num_qubits() {
+            let a = anchors[q as usize];
+            if map.node_dead(a) {
+                return Err(CommError::Unroutable { src: a, dst: a }.into());
+            }
+        }
+        let full_factory_count = factories.len();
+        factories.retain(|&f| !map.node_dead(f));
+        let wants_factory_braids = config.t_gate_model == TGateModel::FactoryBraids
+            && circuit
+                .instructions()
+                .iter()
+                .any(|i| i.gate().needs_magic_state());
+        if wants_factory_braids && factories.is_empty() {
+            return Err(CommError::NoLiveFactories {
+                dead: full_factory_count,
+            }
+            .into());
+        }
+        let mut checked_pairs = std::collections::BTreeSet::new();
+        factory_reach = vec![Vec::new(); circuit.num_qubits() as usize];
+        for inst in circuit.instructions() {
+            let gate = inst.gate();
+            if gate.is_two_qubit() {
+                let qs = inst.qubits();
+                let (a, b) = (qs[0].raw(), qs[1].raw());
+                if checked_pairs.insert((a.min(b), a.max(b))) {
+                    let (src, dst) = (anchors[a as usize], anchors[b as usize]);
+                    if map.route_avoiding(src, dst).is_none() {
+                        return Err(CommError::Unroutable { src, dst }.into());
+                    }
+                }
+            } else if gate.needs_magic_state() && wants_factory_braids {
+                let q = inst.qubits()[0].raw() as usize;
+                if !factory_reach[q].is_empty() {
+                    continue;
+                }
+                let target = anchors[q];
+                let reach: Vec<bool> = factories
+                    .iter()
+                    .map(|&f| map.route_avoiding(f, target).is_some())
+                    .collect();
+                if !reach.iter().any(|&r| r) {
+                    let src = factories
+                        .iter()
+                        .copied()
+                        .min_by_key(|f| f.manhattan(target))
+                        .expect("live factories checked above");
+                    return Err(CommError::Unroutable { src, dst: target }.into());
+                }
+                factory_reach[q] = reach;
+            }
+        }
+    }
 
     let mut eng = Engine {
-        mesh: Mesh::new(mesh_w, mesh_h),
+        mesh: match defects {
+            Some(map) => Mesh::with_defects(mesh_w, mesh_h, map),
+            None => Mesh::new(mesh_w, mesh_h),
+        },
         state: vec![OpState::Blocked; n],
         fail_count: vec![0u32; n],
         held_paths: vec![None; n],
@@ -601,6 +783,7 @@ pub fn schedule_with_sink<S: TraceSink>(
         factories: &factories,
         anchors: &anchors,
         hold: u64::from(d) + 1,
+        factory_reach: &factory_reach,
     };
 
     // Reusable per-cycle candidate buffer.
@@ -1045,5 +1228,136 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("cycles"), "{text}");
         assert!(text.contains("ratio"), "{text}");
+    }
+
+    fn layout_for(circuit: &Circuit, policy: Policy) -> Layout {
+        let g = InteractionGraph::from_circuit(circuit);
+        place(&g, policy.layout_strategy(), None)
+    }
+
+    #[test]
+    fn empty_defect_map_schedules_bit_identically() {
+        let c = contended_circuit();
+        let dag = DependencyDag::from_circuit(&c);
+        let config = BraidConfig {
+            code_distance: 3,
+            ..Default::default()
+        };
+        let layout = layout_for(&c, config.policy);
+        let (mw, mh) = braid_mesh_dims(&layout, &c);
+        let map = DefectMap::empty(scq_mesh::Topology::new(mw, mh));
+        let clean = schedule(&c, &dag, &layout, &config).unwrap();
+        let defected = schedule_on_defects(&c, &dag, &layout, &config, &map).unwrap();
+        assert_eq!(clean, defected);
+    }
+
+    #[test]
+    fn braids_route_around_defects_and_the_schedule_stretches() {
+        let c = single_cnot();
+        let dag = DependencyDag::from_circuit(&c);
+        let config = BraidConfig {
+            code_distance: 3,
+            ..Default::default()
+        };
+        let layout = layout_for(&c, config.policy);
+        let (mw, mh) = braid_mesh_dims(&layout, &c);
+        // Kill a router on the direct corridor between the two anchors
+        // (anchors sit at odd coordinates; the XY corridor runs along
+        // the anchor row).
+        let map = DefectMap::from_text(&format!("dims {mw} {mh}\nnode 2 1\n")).unwrap();
+        let clean = schedule(&c, &dag, &layout, &config).unwrap();
+        let defected = schedule_on_defects(&c, &dag, &layout, &config, &map).unwrap();
+        assert_eq!(defected.total_ops, clean.total_ops);
+        assert!(
+            defected.cycles >= clean.cycles,
+            "defected {} < clean {}",
+            defected.cycles,
+            clean.cycles
+        );
+        // The traced variant agrees and its routes avoid the dead node.
+        let (stats, trace) = schedule_traced_on_defects(&c, &dag, &layout, &config, &map).unwrap();
+        assert_eq!(stats, defected);
+        trace.validate().unwrap();
+        for ev in &trace.events {
+            for &n in ev.path.nodes() {
+                assert!(!map.node_dead(n), "braid route crosses dead node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_cut_tile_is_unroutable_not_a_hang() {
+        let c = single_cnot();
+        let dag = DependencyDag::from_circuit(&c);
+        let config = BraidConfig {
+            code_distance: 3,
+            ..Default::default()
+        };
+        let layout = layout_for(&c, config.policy);
+        let (mw, mh) = braid_mesh_dims(&layout, &c);
+        // Wall off the second qubit's anchor column entirely.
+        let cut_x = 2;
+        let mut text = format!("dims {mw} {mh}\n");
+        for y in 0..mh {
+            text.push_str(&format!("node {cut_x} {y}\n"));
+        }
+        let map = DefectMap::from_text(&text).unwrap();
+        let err = schedule_on_defects(&c, &dag, &layout, &config, &map).unwrap_err();
+        match err {
+            ScheduleError::Unroutable(CommError::Unroutable { src, dst }) => {
+                assert_ne!(src, dst, "a two-qubit pair cut reports both endpoints");
+            }
+            other => panic!("expected Unroutable, got {other:?}"),
+        }
+        assert!(err.to_string().contains("no defect-free route"), "{err}");
+    }
+
+    #[test]
+    fn dead_anchor_is_reported_as_unroutable() {
+        let c = single_cnot();
+        let dag = DependencyDag::from_circuit(&c);
+        let config = BraidConfig::default();
+        let layout = layout_for(&c, config.policy);
+        let (mw, mh) = braid_mesh_dims(&layout, &c);
+        // Tile (0, 0) anchors at router (1, 1).
+        let map = DefectMap::from_text(&format!("dims {mw} {mh}\nnode 1 1\n")).unwrap();
+        let err = schedule_on_defects(&c, &dag, &layout, &config, &map).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::Unroutable(CommError::Unroutable { src, dst }) if src == dst
+        ));
+    }
+
+    #[test]
+    fn all_dead_factories_fail_structurally_for_t_gates() {
+        let mut b = Circuit::builder("t", 1);
+        b.t(0);
+        let c = b.finish();
+        let dag = DependencyDag::from_circuit(&c);
+        let config = BraidConfig::default();
+        let layout = layout_for(&c, config.policy);
+        let (mw, mh) = braid_mesh_dims(&layout, &c);
+        // Factories sit on the top and bottom router rows: kill both.
+        let mut text = format!("dims {mw} {mh}\n");
+        for x in 0..mw {
+            text.push_str(&format!("node {x} 0\nnode {x} {}\n", mh - 1));
+        }
+        let map = DefectMap::from_text(&text).unwrap();
+        let err = schedule_on_defects(&c, &dag, &layout, &config, &map).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::Unroutable(CommError::NoLiveFactories { .. })
+        ));
+        // The same cut is harmless to a circuit without T gates.
+        let cnot = single_cnot();
+        let dag2 = DependencyDag::from_circuit(&cnot);
+        let layout2 = layout_for(&cnot, config.policy);
+        let (mw2, mh2) = braid_mesh_dims(&layout2, &cnot);
+        let mut text2 = format!("dims {mw2} {mh2}\n");
+        for x in 0..mw2 {
+            text2.push_str(&format!("node {x} 0\nnode {x} {}\n", mh2 - 1));
+        }
+        let map2 = DefectMap::from_text(&text2).unwrap();
+        assert!(schedule_on_defects(&cnot, &dag2, &layout2, &config, &map2).is_ok());
     }
 }

@@ -36,6 +36,7 @@ use scq_braid::{BraidConfig, BraidSchedule, Policy, ScheduleError};
 use scq_estimate::{estimate_both, AppProfile, EstimateConfig, ResourceEstimate};
 use scq_ir::{analysis::CircuitStats, Circuit, DependencyDag, InteractionGraph};
 use scq_layout::{place, Layout};
+use scq_mesh::CommError;
 use scq_surface::{CodeDistanceModel, Encoding, Technology, ThresholdExceeded};
 use scq_teleport::{PlanarConfig, PlanarSchedule};
 
@@ -148,6 +149,9 @@ pub enum ToolflowError {
     Threshold(ThresholdExceeded),
     /// The braid scheduler failed.
     Braid(ScheduleError),
+    /// Communication is structurally impossible on the (defective)
+    /// fabric: no defect-free route, or nothing left to place on.
+    Comm(CommError),
 }
 
 impl fmt::Display for ToolflowError {
@@ -155,6 +159,7 @@ impl fmt::Display for ToolflowError {
         match self {
             ToolflowError::Threshold(e) => write!(f, "{e}"),
             ToolflowError::Braid(e) => write!(f, "{e}"),
+            ToolflowError::Comm(e) => write!(f, "{e}"),
         }
     }
 }
@@ -164,6 +169,7 @@ impl Error for ToolflowError {
         match self {
             ToolflowError::Threshold(e) => Some(e),
             ToolflowError::Braid(e) => Some(e),
+            ToolflowError::Comm(e) => Some(e),
         }
     }
 }
@@ -177,6 +183,12 @@ impl From<ThresholdExceeded> for ToolflowError {
 impl From<ScheduleError> for ToolflowError {
     fn from(e: ScheduleError) -> Self {
         ToolflowError::Braid(e)
+    }
+}
+
+impl From<CommError> for ToolflowError {
+    fn from(e: CommError) -> Self {
+        ToolflowError::Comm(e)
     }
 }
 
@@ -321,6 +333,18 @@ mod tests {
         let c = b.finish();
         let report = run_toolflow_on(Benchmark::Gse, &c, &ToolflowConfig::default()).unwrap();
         assert_eq!(report.stats.total_ops, 5);
+    }
+
+    #[test]
+    fn comm_errors_lift_into_the_toolflow_error() {
+        let e = CommError::Unroutable {
+            src: scq_mesh::Coord::new(1, 1),
+            dst: scq_mesh::Coord::new(3, 3),
+        };
+        let lifted: ToolflowError = e.into();
+        assert!(matches!(lifted, ToolflowError::Comm(_)));
+        assert!(lifted.to_string().contains("no defect-free route"));
+        assert!(lifted.source().is_some());
     }
 
     #[test]

@@ -118,6 +118,61 @@ impl fmt::Display for QasmParseError {
 
 impl Error for QasmParseError {}
 
+/// A user-facing failure in one of the command-line tools.
+///
+/// The toolflow binaries (`scq`, the bench harnesses) report every
+/// bad-input condition through this type instead of panicking: argument
+/// mistakes, unreadable files, and semantically invalid inputs all
+/// become an `error: ...` diagnostic plus a nonzero exit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line itself was malformed (unknown flag, missing
+    /// operand, unparsable number).
+    Usage(String),
+    /// A file the user pointed at could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
+    /// The input parsed but was semantically unusable.
+    Invalid(String),
+}
+
+impl CliError {
+    /// Wraps an IO error with the path it occurred on.
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Self {
+        CliError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Shorthand for a usage complaint.
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+
+    /// Shorthand for an invalid-input complaint.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        CliError::Invalid(message.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io { path, message } => write!(f, "{path}: {message}"),
+            CliError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +203,21 @@ mod tests {
         assert_error::<IrError>();
         assert_error::<ParseGateError>();
         assert_error::<QasmParseError>();
+        assert_error::<CliError>();
+    }
+
+    #[test]
+    fn cli_error_renders_each_shape() {
+        let e = CliError::usage("unknown flag `--frobnicate`");
+        assert!(e.to_string().contains("--frobnicate"));
+
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "no such file");
+        let e = CliError::io("defects.map", &io);
+        assert!(e.to_string().starts_with("defects.map: "));
+        assert!(e.to_string().contains("no such file"));
+
+        let e = CliError::invalid("defect rate must be in [0, 1)");
+        assert!(e.to_string().contains("[0, 1)"));
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod sim;
 
 pub use circuit::{Circuit, CircuitBuilder, Instruction};
 pub use dag::DependencyDag;
-pub use error::{IrError, ParseGateError, QasmParseError};
+pub use error::{CliError, IrError, ParseGateError, QasmParseError};
 pub use gate::Gate;
 pub use interaction::InteractionGraph;
 pub use qasm::{circuit_from_qasm, circuit_to_qasm};

@@ -34,7 +34,11 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use crate::coord::Path;
+use crate::defect::DefectMap;
 use crate::heatmap::LinkHeatmap;
 use crate::topology::Topology;
 
@@ -87,6 +91,9 @@ enum MsgState {
     Traversing { link: usize },
     /// Queued on `link` (saturated) since cycle `since`.
     Waiting { link: usize, since: u64 },
+    /// A hop on a flaky link failed; backing off before re-attempting
+    /// the same link from the same router.
+    RetryWait,
     /// Delivered at cycle `at`.
     Arrived { at: u64 },
 }
@@ -118,6 +125,24 @@ pub struct FabricStats {
     /// Maximum simultaneously in-flight messages (launched, not yet
     /// delivered).
     pub peak_in_flight: usize,
+    /// Hops that failed on a flaky link and were retried after backoff
+    /// (always zero without a [`DefectMap`]; see
+    /// [`Fabric::with_defects`]).
+    pub transient_faults: u64,
+}
+
+/// Transient-fault machinery, present only on fabrics built through
+/// [`Fabric::with_defects`] over a non-empty [`DefectMap`].
+#[derive(Clone, Debug)]
+struct FaultState {
+    /// Seeded PRNG for per-hop failure draws, consumed in deterministic
+    /// `(time, MsgId)` event order.
+    rng: StdRng,
+    /// The defect map: per-link flaky probabilities plus the dead
+    /// nodes/links that [`Fabric::inject`] asserts routes avoid.
+    defects: DefectMap,
+    /// Consecutive failed attempts of each message's current hop.
+    retries: Vec<u32>,
 }
 
 /// A 2D packet fabric over a [`Topology`].
@@ -136,6 +161,10 @@ pub struct Fabric {
     /// Accumulated stall-cycles per link (cycles messages spent queued
     /// waiting for one of its lanes).
     link_stalls: Vec<u64>,
+    /// Transient faults per link (failed hops on flaky links).
+    link_faults: Vec<u64>,
+    /// Present only on fault-injected fabrics.
+    fault_state: Option<FaultState>,
     /// FIFO wait queue per link.
     waiters: Vec<VecDeque<MsgId>>,
     msgs: Vec<InFlightMessage>,
@@ -162,6 +191,8 @@ impl Fabric {
             load: vec![0; topo.num_links()],
             link_busy: vec![0; topo.num_links()],
             link_stalls: vec![0; topo.num_links()],
+            link_faults: vec![0; topo.num_links()],
+            fault_state: None,
             waiters: vec![VecDeque::new(); topo.num_links()],
             msgs: Vec::new(),
             events: BinaryHeap::new(),
@@ -169,6 +200,61 @@ impl Fabric {
             in_flight: 0,
             stats: FabricStats::default(),
         }
+    }
+
+    /// Maximum consecutive failures of one hop before the traversal is
+    /// forced through — modeling escalation to a slower, fully
+    /// error-corrected retransmission so delivery always terminates.
+    pub const MAX_HOP_RETRIES: u32 = 8;
+
+    /// Creates a fabric that injects transient faults on the defect
+    /// map's flaky links.
+    ///
+    /// Dead nodes and links are not modeled here — routes are planned
+    /// around them upstream (see [`DefectMap::route_avoiding`]), and
+    /// [`Fabric::inject`] asserts every route steers clear of them.
+    /// Each hop over a flaky link fails independently with the map's
+    /// per-link probability; a failed hop still occupies its swap lane
+    /// for the full `hop_cycles` (the entanglement was consumed), then
+    /// the message backs off at its current router for
+    /// `hop_cycles << min(retries - 1, 3)` cycles and re-attempts the
+    /// same link, competing for a lane like any new arrival. After
+    /// [`Fabric::MAX_HOP_RETRIES`] consecutive failures the hop is
+    /// forced through. Failure draws come from a PRNG seeded with
+    /// `seed` and are consumed in the deterministic `(time, MsgId)`
+    /// event order, so identical injection sequences reproduce
+    /// identical fault timelines on any machine.
+    ///
+    /// With an empty defect map this is exactly [`Fabric::new`]: no
+    /// fault state is attached and no draws are made.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's topology differs from `topo`, or on the same
+    /// conditions as [`Fabric::new`].
+    pub fn with_defects(
+        topo: Topology,
+        config: FabricConfig,
+        defects: &DefectMap,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            defects.topology() == topo,
+            "defect map is {}x{} but the fabric is {}x{}",
+            defects.topology().width(),
+            defects.topology().height(),
+            topo.width(),
+            topo.height()
+        );
+        let mut fabric = Fabric::new(topo, config);
+        if !defects.is_empty() {
+            fabric.fault_state = Some(FaultState {
+                rng: StdRng::seed_from_u64(seed),
+                defects: defects.clone(),
+                retries: Vec::new(),
+            });
+        }
+        fabric
     }
 
     /// The fabric's geometry.
@@ -207,7 +293,12 @@ impl Fabric {
     /// [`LinkHeatmap`] — the congestion data product consumed by
     /// placement optimization.
     pub fn heatmap(&self) -> LinkHeatmap {
-        LinkHeatmap::new(self.topo, self.link_busy.clone(), self.link_stalls.clone())
+        LinkHeatmap::with_faults(
+            self.topo,
+            self.link_busy.clone(),
+            self.link_stalls.clone(),
+            self.link_faults.clone(),
+        )
     }
 
     /// Injects a message that starts traversing `route` at cycle
@@ -217,9 +308,11 @@ impl Fabric {
     ///
     /// # Panics
     ///
-    /// Panics if the route is empty or leaves the topology, or if
+    /// Panics if the route is empty or leaves the topology, if
     /// `launch` lies in the simulated past (before an already-processed
-    /// event).
+    /// event), or — on a fault-injected fabric — if the route
+    /// traverses a dead node or link (routes must be planned around
+    /// permanent defects; see [`DefectMap::route_avoiding`]).
     pub fn inject(&mut self, route: Path, launch: u64) -> MsgId {
         assert!(!route.is_empty(), "cannot inject an empty route");
         for &n in route.nodes() {
@@ -230,6 +323,15 @@ impl Fabric {
             "launch at {launch} is before the fabric clock {}",
             self.now
         );
+        if let Some(f) = &mut self.fault_state {
+            assert!(
+                f.defects.path_clear(&route),
+                "route {} -> {} traverses a defective node or link",
+                route.source(),
+                route.dest()
+            );
+            f.retries.push(0);
+        }
         let id = u32::try_from(self.msgs.len()).expect("fabric message ids fit in u32");
         self.msgs.push(InFlightMessage {
             route,
@@ -311,10 +413,9 @@ impl Fabric {
                 self.try_advance(t, id);
             }
             MsgState::Traversing { link } => {
-                // Hop done: free the lane, wake the FIFO head, move on.
+                // Hop attempt over: free the lane, wake the FIFO head.
                 self.load[link] -= 1;
                 self.link_busy[link] += self.config.hop_cycles;
-                self.stats.hops_completed += 1;
                 if let Some(w) = self.waiters[link].pop_front() {
                     let since = match self.msgs[w as usize].state {
                         MsgState::Waiting { since, .. } => since,
@@ -324,7 +425,40 @@ impl Fabric {
                     self.link_stalls[link] += t - since;
                     self.enter_link(t, w, link);
                 }
-                self.msgs[id as usize].cursor += 1;
+                // On a flaky link the hop may have failed; the message
+                // then backs off at its current router and re-attempts
+                // the same link. After MAX_HOP_RETRIES consecutive
+                // failures the hop is forced through, bounding the
+                // worst case.
+                let failed = match &mut self.fault_state {
+                    Some(f) => {
+                        let p = f.defects.flaky_probs()[link];
+                        p > 0.0
+                            && f.retries[id as usize] < Self::MAX_HOP_RETRIES
+                            && f.rng.gen_range(0.0..1.0f64) < p
+                    }
+                    None => false,
+                };
+                if failed {
+                    let f = self.fault_state.as_mut().expect("fault state present");
+                    f.retries[id as usize] += 1;
+                    let backoff = self.config.hop_cycles << (f.retries[id as usize] - 1).min(3);
+                    self.stats.transient_faults += 1;
+                    self.link_faults[link] += 1;
+                    self.msgs[id as usize].state = MsgState::RetryWait;
+                    self.events.push(Reverse((t + backoff, id)));
+                } else {
+                    if let Some(f) = &mut self.fault_state {
+                        f.retries[id as usize] = 0;
+                    }
+                    self.stats.hops_completed += 1;
+                    self.msgs[id as usize].cursor += 1;
+                    self.try_advance(t, id);
+                }
+            }
+            MsgState::RetryWait => {
+                // Backoff elapsed: re-attempt the current hop, queueing
+                // behind other traffic like any new arrival.
                 self.try_advance(t, id);
             }
             MsgState::Waiting { .. } | MsgState::Arrived { .. } => {
@@ -531,5 +665,80 @@ mod tests {
         f.inject(row_route(topo, 0, 0, 2), 10);
         f.run_to_completion();
         let _ = f.inject(row_route(topo, 0, 0, 2), 3);
+    }
+
+    #[test]
+    fn empty_defect_map_behaves_like_a_plain_fabric() {
+        use crate::defect::DefectMap;
+        let topo = Topology::new(4, 1);
+        let map = DefectMap::empty(topo);
+        let mut clean = Fabric::new(topo, FabricConfig::default());
+        let mut faulty = Fabric::with_defects(topo, FabricConfig::default(), &map, 42);
+        for launch in [0u64, 0, 3] {
+            clean.inject(row_route(topo, 0, 0, 3), launch);
+            faulty.inject(row_route(topo, 0, 0, 3), launch);
+        }
+        clean.run_to_completion();
+        faulty.run_to_completion();
+        assert_eq!(clean.stats(), faulty.stats());
+        assert_eq!(clean.heatmap(), faulty.heatmap());
+        for id in 0..3 {
+            assert_eq!(clean.arrival_time(id), faulty.arrival_time(id));
+        }
+    }
+
+    #[test]
+    fn certain_flaky_link_retries_to_the_bound_then_forces_through() {
+        use crate::defect::DefectMap;
+        let topo = Topology::new(4, 1);
+        let map = DefectMap::from_text("dims 4 1\nflaky 1 0 2 0 1.0\n").unwrap();
+        let mut f = Fabric::with_defects(topo, FabricConfig::unlimited(1), &map, 7);
+        let id = f.inject(row_route(topo, 0, 0, 3), 0);
+        f.run_to_completion();
+        // The hop over the flaky link fails exactly MAX_HOP_RETRIES
+        // times, then is forced through; the message still arrives.
+        let at = f.arrival_time(id).expect("delivery terminates");
+        assert!(at > 3, "faults must delay delivery past the clean 3 hops");
+        assert_eq!(
+            f.stats().transient_faults,
+            u64::from(Fabric::MAX_HOP_RETRIES)
+        );
+        // hops_completed counts only successful traversals.
+        assert_eq!(f.stats().hops_completed, 3);
+        // The heatmap pins every fault on the flaky link.
+        let h = f.heatmap();
+        let flaky = topo.link_index(Coord::new(1, 0), Coord::new(2, 0));
+        assert_eq!(h.fault_counts()[flaky], u64::from(Fabric::MAX_HOP_RETRIES));
+        assert_eq!(h.total_transient_faults(), f.stats().transient_faults);
+    }
+
+    #[test]
+    fn fault_draws_are_seed_deterministic() {
+        use crate::defect::DefectMap;
+        let topo = Topology::new(6, 1);
+        let map = DefectMap::from_text("dims 6 1\nflaky 2 0 3 0 0.5\n").unwrap();
+        let run = |seed: u64| {
+            let mut f = Fabric::with_defects(topo, FabricConfig::default(), &map, seed);
+            let ids: Vec<MsgId> = (0..8)
+                .map(|i| f.inject(row_route(topo, 0, 0, 5), i))
+                .collect();
+            f.run_to_completion();
+            let arrivals: Vec<Option<u64>> = ids.iter().map(|&i| f.arrival_time(i)).collect();
+            (arrivals, f.stats())
+        };
+        assert_eq!(run(11), run(11));
+        // Some hop of 8 messages over a p = 0.5 link fails for any
+        // reasonable seed, so faults are actually being exercised.
+        assert!(run(11).1.transient_faults > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "traverses a defective")]
+    fn injecting_across_a_dead_node_rejected() {
+        use crate::defect::DefectMap;
+        let topo = Topology::new(4, 1);
+        let map = DefectMap::from_text("dims 4 1\nnode 2 0\n").unwrap();
+        let mut f = Fabric::with_defects(topo, FabricConfig::default(), &map, 1);
+        let _ = f.inject(row_route(topo, 0, 0, 3), 0);
     }
 }

@@ -23,18 +23,39 @@ pub struct LinkHeatmap {
     busy: Vec<u64>,
     /// Stall cycles per link (time messages queued for a free lane).
     stalls: Vec<u64>,
+    /// Transient faults per link (hops that failed on a flaky link and
+    /// were retried after backoff).
+    faults: Vec<u64>,
 }
 
 impl LinkHeatmap {
-    /// Builds a snapshot from raw per-link counters.
+    /// Builds a snapshot from raw per-link counters, with no recorded
+    /// transient faults (a defect-free run).
     ///
     /// # Panics
     ///
     /// Panics if either slice length differs from `topo.num_links()`.
     pub fn new(topo: Topology, busy: Vec<u64>, stalls: Vec<u64>) -> Self {
+        let faults = vec![0; topo.num_links()];
+        Self::with_faults(topo, busy, stalls, faults)
+    }
+
+    /// Builds a snapshot that also carries per-link transient-fault
+    /// counts from a fault-injected fabric run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `topo.num_links()`.
+    pub fn with_faults(topo: Topology, busy: Vec<u64>, stalls: Vec<u64>, faults: Vec<u64>) -> Self {
         assert_eq!(busy.len(), topo.num_links(), "busy counters per link");
         assert_eq!(stalls.len(), topo.num_links(), "stall counters per link");
-        LinkHeatmap { topo, busy, stalls }
+        assert_eq!(faults.len(), topo.num_links(), "fault counters per link");
+        LinkHeatmap {
+            topo,
+            busy,
+            stalls,
+            faults,
+        }
     }
 
     /// The geometry the link indices refer to.
@@ -50,6 +71,16 @@ impl LinkHeatmap {
     /// Stall cycles per link, canonical link order.
     pub fn stall_cycles(&self) -> &[u64] {
         &self.stalls
+    }
+
+    /// Transient faults per link, canonical link order.
+    pub fn fault_counts(&self) -> &[u64] {
+        &self.faults
+    }
+
+    /// Total transient faults over all links.
+    pub fn total_transient_faults(&self) -> u64 {
+        self.faults.iter().sum()
     }
 
     /// Total stall cycles over all links.
@@ -168,5 +199,27 @@ mod tests {
     fn mismatched_counter_length_rejected() {
         let topo = Topology::new(3, 3);
         let _ = LinkHeatmap::new(topo, vec![0; 3], vec![0; topo.num_links()]);
+    }
+
+    #[test]
+    fn fault_counters_ride_along() {
+        let topo = Topology::new(3, 3);
+        let zero = vec![0u64; topo.num_links()];
+        let mut faults = zero.clone();
+        faults[2] = 5;
+        let h = LinkHeatmap::with_faults(topo, zero.clone(), zero.clone(), faults);
+        assert_eq!(h.total_transient_faults(), 5);
+        assert_eq!(h.fault_counts()[2], 5);
+        // The defect-free constructor reports zero faults.
+        let clean = LinkHeatmap::new(topo, zero.clone(), zero);
+        assert_eq!(clean.total_transient_faults(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault counters per link")]
+    fn mismatched_fault_length_rejected() {
+        let topo = Topology::new(3, 3);
+        let zero = vec![0u64; topo.num_links()];
+        let _ = LinkHeatmap::with_faults(topo, zero.clone(), zero, vec![0; 2]);
     }
 }

@@ -29,6 +29,21 @@
 //! [`Mesh::route_yx`], and congestion-aware [`Mesh::route_adaptive`]
 //! (BFS over currently-free resources).
 //!
+//! # The fault layer
+//!
+//! Real devices ship with dead qubits and marginal couplers. A
+//! [`DefectMap`] records dead tiles, dead links, and flaky links
+//! (per-hop transient failure probabilities), loaded from a text format
+//! or sampled reproducibly from a seed. [`Mesh::with_defects`] models
+//! dead resources as permanent claims (every claim path and probe
+//! avoids them for free), [`Fabric::with_defects`] injects seeded
+//! transient faults on flaky links (bounded retry with exponential
+//! backoff, counted in [`FabricStats`] and the [`LinkHeatmap`]), and
+//! [`DefectMap::route_avoiding`] finds defect-free detours.
+//! Structurally impossible communication is reported as a [`CommError`]
+//! value — never a panic. An empty map leaves every consumer
+//! bit-identical to the defect-free code paths.
+//!
 //! # Hot-path APIs
 //!
 //! The braid scheduler's inner loop uses the allocation-free variants:
@@ -59,6 +74,7 @@
 #![warn(missing_docs)]
 
 mod coord;
+mod defect;
 mod fabric;
 mod heatmap;
 #[allow(clippy::module_inception)]
@@ -66,6 +82,7 @@ mod mesh;
 mod topology;
 
 pub use coord::{Coord, Path};
+pub use defect::{CommError, DefectMap, DefectParseError, FLAKY_FAILURE_PROB};
 pub use fabric::{Fabric, FabricConfig, FabricStats, MsgId};
 pub use heatmap::LinkHeatmap;
 pub use mesh::{ClaimId, Mesh, RouteScratch};

@@ -3,12 +3,19 @@
 use std::collections::VecDeque;
 
 use crate::coord::{Coord, Path};
+use crate::defect::DefectMap;
 use crate::topology::{DimOrder, Topology};
 
 /// Identifier of a path owner (one braid or message).
 pub type ClaimId = u32;
 
 const FREE: ClaimId = ClaimId::MAX;
+
+/// Reserved owner marking fabrication defects ([`Mesh::with_defects`]):
+/// dead routers and links are claimed by this sentinel forever, so every
+/// claim walk, probe, and adaptive search treats them as permanently
+/// occupied without any defect-specific logic.
+const DEFECT: ClaimId = ClaimId::MAX - 1;
 
 /// Reusable buffers for [`Mesh::route_adaptive_into`].
 ///
@@ -177,6 +184,66 @@ impl Mesh {
             cols: vec![LineSummary::default(); topo.width() as usize],
             index_active: false,
         }
+    }
+
+    /// Creates a `width x height` router mesh whose defective resources
+    /// (per `defects`) are permanently claimed by the reserved `DEFECT`
+    /// sentinel. Claims, probes, and adaptive routing all treat them as
+    /// occupied forever; they are never released, and they do not count
+    /// toward [`Mesh::busy_links`] or [`Mesh::utilization`], which stay
+    /// traffic-only. With an empty map this is exactly [`Mesh::new`].
+    ///
+    /// Flaky links are a transient-fault concept of the packet
+    /// [`Fabric`](crate::Fabric); the circuit-switched mesh ignores
+    /// them (a braid holds its route for a full error-correction cycle,
+    /// which absorbs transient link faults by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the map's topology is not
+    /// `width x height`.
+    pub fn with_defects(width: u32, height: u32, defects: &DefectMap) -> Self {
+        let mut mesh = Mesh::new(width, height);
+        let map_topo = defects.topology();
+        assert!(
+            map_topo.width() == width && map_topo.height() == height,
+            "defect map is {}x{} but the mesh is {width}x{height}",
+            map_topo.width(),
+            map_topo.height()
+        );
+        for i in 0..mesh.nodes.len() {
+            if defects.node_dead_idx(i) {
+                mesh.nodes[i] = DEFECT;
+            }
+        }
+        let num_h = mesh.topo.num_h_links();
+        for i in 0..mesh.h_links.len() {
+            if defects.link_dead_idx(i) {
+                mesh.h_links[i] = DEFECT;
+            }
+        }
+        for i in 0..mesh.v_links.len() {
+            if defects.link_dead_idx(num_h + i) {
+                mesh.v_links[i] = DEFECT;
+            }
+        }
+        mesh
+    }
+
+    /// Returns `true` if the router at `c` is a fabrication defect
+    /// (dead per the [`DefectMap`] this mesh was built with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is off the mesh.
+    pub fn node_defective(&self, c: Coord) -> bool {
+        assert!(
+            self.contains(c),
+            "node {c} outside {}x{} mesh",
+            self.width(),
+            self.height()
+        );
+        self.nodes[self.node_index(c)] == DEFECT
     }
 
     /// Whether the occupancy index is currently live. Dormant until the
@@ -361,10 +428,14 @@ impl Mesh {
     ///
     /// # Panics
     ///
-    /// Panics if the path leaves the mesh or `owner` is the reserved
-    /// sentinel `ClaimId::MAX`.
+    /// Panics if the path leaves the mesh or `owner` is one of the
+    /// reserved sentinels (`ClaimId::MAX` is reserved for free slots,
+    /// `ClaimId::MAX - 1` marks defects).
     pub fn try_claim(&mut self, path: &Path, owner: ClaimId) -> bool {
-        assert_ne!(owner, FREE, "ClaimId::MAX is reserved");
+        assert!(
+            owner < DEFECT,
+            "ClaimId::MAX is reserved (and ClaimId::MAX - 1 marks defects)"
+        );
         if !self.is_path_free(path, owner) {
             // First evidence of contention: from here on the occupancy
             // index earns its upkeep, so bring it live.
@@ -660,7 +731,10 @@ impl Mesh {
             self.contains(src) && self.contains(dst),
             "endpoints must be on the mesh"
         );
-        assert_ne!(owner, FREE, "ClaimId::MAX is reserved");
+        assert!(
+            owner < DEFECT,
+            "ClaimId::MAX is reserved (and ClaimId::MAX - 1 marks defects)"
+        );
         // Pass 1: availability check in place, touching nothing.
         let mut last: Option<Coord> = None;
         let free = Topology::walk_dim_ordered(src, dst, order, |c| {
@@ -1447,5 +1521,83 @@ mod tests {
         assert!((a.utilization() - b.utilization()).abs() < f64::EPSILON);
         b.tick_n(0);
         assert_eq!(b.ticks(), 17);
+    }
+
+    #[test]
+    fn defect_free_map_matches_plain_mesh() {
+        use crate::defect::DefectMap;
+        let topo = Topology::new(5, 4);
+        let mut a = Mesh::new(5, 4);
+        let mut b = Mesh::with_defects(5, 4, &DefectMap::empty(topo));
+        let p = a.route_xy(Coord::new(0, 0), Coord::new(4, 3));
+        assert_eq!(a.try_claim(&p, 1), b.try_claim(&p, 1));
+        assert_eq!(a.busy_links(), b.busy_links());
+        assert!(!b.node_defective(Coord::new(2, 2)));
+    }
+
+    #[test]
+    fn defective_resources_block_claims_and_adaptive_routes() {
+        use crate::defect::DefectMap;
+        let text = "dims 5 5\nnode 2 0\nlink 2 2 3 2\n";
+        let map = DefectMap::from_text(text).unwrap();
+        let mut m = Mesh::with_defects(5, 5, &map);
+        assert!(m.node_defective(Coord::new(2, 0)));
+        // Defects do not count as traffic.
+        assert_eq!(m.busy_links(), 0);
+        assert_eq!(m.utilization(), 0.0);
+        // A route through the dead node cannot be claimed...
+        let p = m.route_xy(Coord::new(0, 0), Coord::new(4, 0));
+        assert!(!m.try_claim(&p, 1));
+        // ...the fused walks refuse it too...
+        let mut out = Path::empty();
+        assert!(!m.claim_route_xy_into(Coord::new(0, 0), Coord::new(4, 0), 1, &mut out));
+        // ...and the adaptive router detours around both defects.
+        let detour = m
+            .route_adaptive(Coord::new(0, 0), Coord::new(4, 0), 1)
+            .expect("live detour exists");
+        assert!(detour.nodes().iter().all(|&n| !m.node_defective(n)));
+        assert!(detour
+            .links()
+            .all(|(a, b)| !(a == Coord::new(2, 2) && b == Coord::new(3, 2)
+                || a == Coord::new(3, 2) && b == Coord::new(2, 2))));
+        assert!(m.try_claim(&detour, 1));
+    }
+
+    #[test]
+    fn probes_stay_sound_with_defects() {
+        use crate::defect::DefectMap;
+        // A fully dead row separates the mesh; the probes must prove it
+        // once the index is live, and must never contradict the claims.
+        let mut text = String::from("dims 5 5\n");
+        for x in 0..5 {
+            text.push_str(&format!("node {x} 2\n"));
+        }
+        let map = DefectMap::from_text(&text).unwrap();
+        let mut m = Mesh::with_defects(5, 5, &map);
+        m.ensure_occupancy_index();
+        assert!(m.route_certainly_blocked(Coord::new(2, 0), Coord::new(2, 4)));
+        assert!(m
+            .route_adaptive(Coord::new(2, 0), Coord::new(2, 4), 1)
+            .is_none());
+        assert!(m.xy_certainly_blocked(Coord::new(2, 0), Coord::new(2, 4)));
+        // Same-side traffic is unaffected.
+        let p = m.route_xy(Coord::new(0, 0), Coord::new(4, 0));
+        assert!(m.try_claim(&p, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn defect_sentinel_is_not_a_legal_owner() {
+        let mut m = Mesh::new(3, 3);
+        let p = m.route_xy(Coord::new(0, 0), Coord::new(2, 0));
+        let _ = m.try_claim(&p, ClaimId::MAX - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "defect map is")]
+    fn mismatched_defect_map_dims_rejected() {
+        use crate::defect::DefectMap;
+        let map = DefectMap::empty(Topology::new(4, 4));
+        let _ = Mesh::with_defects(5, 5, &map);
     }
 }

@@ -2,7 +2,7 @@
 //! fully reversible; routes must be valid and shortest where promised.
 
 use proptest::prelude::*;
-use scq_mesh::{Coord, Mesh, Path};
+use scq_mesh::{Coord, DefectMap, Mesh, Path, Topology};
 
 fn arb_mesh_and_endpoints() -> impl Strategy<Value = (u32, u32, Coord, Coord)> {
     (2u32..12, 2u32..12).prop_flat_map(|(w, h)| {
@@ -85,6 +85,47 @@ proptest! {
             }
             prop_assert!(mesh.try_claim(&p, 1), "adaptive route must be claimable");
         }
+    }
+
+    #[test]
+    fn defect_avoiding_routes_never_touch_defects(
+        (w, h, a, b) in arb_mesh_and_endpoints(),
+        rate in 0.0f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let map = DefectMap::sample(Topology::new(w, h), rate, seed);
+        if let Some(p) = map.route_avoiding(a, b) {
+            prop_assert_eq!(p.source(), a);
+            prop_assert_eq!(p.dest(), b);
+            prop_assert!(map.path_clear(&p), "route traverses a defective resource");
+            // The route is claimable on the matching defective mesh —
+            // defects are modeled as permanent claims, so clearance and
+            // claimability must agree.
+            let mut mesh = Mesh::with_defects(w, h, &map);
+            prop_assert!(mesh.try_claim(&p, 1), "defect-clear route must be claimable");
+        } else {
+            // No route: either an endpoint is dead or every detour is
+            // blocked; the adaptive mesh router must agree there is no
+            // defect-free path.
+            let mesh = Mesh::with_defects(w, h, &map);
+            prop_assert!(
+                map.node_dead(a) || map.node_dead(b) || mesh.route_adaptive(a, b, 1).is_none(),
+                "DefectMap found no route but the mesh router did"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_maps_are_seed_deterministic(
+        (w, h) in (2u32..12, 2u32..12),
+        rate in 0.0f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let a = DefectMap::sample(Topology::new(w, h), rate, seed);
+        let b = DefectMap::sample(Topology::new(w, h), rate, seed);
+        prop_assert_eq!(a.dead_node_count(), b.dead_node_count());
+        prop_assert_eq!(a.dead_link_count(), b.dead_link_count());
+        prop_assert_eq!(a.flaky_link_count(), b.flaky_link_count());
     }
 
     #[test]

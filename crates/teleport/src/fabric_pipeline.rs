@@ -28,7 +28,7 @@
 //! capacity the gap between the two is precisely the contention the
 //! paper's planar numbers were missing.
 
-use scq_mesh::{Coord, Fabric, FabricConfig, LinkHeatmap, Path, Topology};
+use scq_mesh::{CommError, Coord, DefectMap, Fabric, FabricConfig, LinkHeatmap, Path, Topology};
 
 use crate::pipeline::{
     account_arrivals, check_epr_inputs, plan_launches, DistributionPolicy, EprConfig,
@@ -94,6 +94,9 @@ pub struct FabricEprResult {
     pub hottest_link_busy_cycles: u64,
     /// Total route hops over all halves.
     pub total_route_hops: u64,
+    /// Transient link faults absorbed by retry/backoff (0 on a clean
+    /// fabric).
+    pub transient_faults: u64,
     /// Per-link busy/stall snapshot of the whole run — the congestion
     /// signal the placement optimizer feeds on.
     pub heatmap: LinkHeatmap,
@@ -122,14 +125,92 @@ pub fn simulate_epr_on_fabric(
     config: &FabricEprConfig,
     topology: Topology,
 ) -> FabricEprResult {
-    let times: Vec<u64> = requests.iter().map(|r| r.time).collect();
-    check_epr_inputs(&times, policy, config.epr.bandwidth);
-
-    // Phase 1: plan launches at the flow level (uncontended estimates).
     let routes: Vec<Path> = requests
         .iter()
         .map(|r| topology.route_xy(r.src, r.dst))
         .collect();
+    let fabric = Fabric::new(
+        topology,
+        FabricConfig {
+            hop_cycles: config.epr.hop_cycles,
+            link_capacity: config.link_capacity,
+        },
+    );
+    run_epr_phases(requests, routes, policy, config, fabric)
+}
+
+/// Like [`simulate_epr_on_fabric`], but on a defect-laden machine:
+/// routes detour around the map's dead tiles and links (falling back to
+/// BFS when the dimension-ordered L-route is blocked), and flaky links
+/// inject seeded transient faults — a failed hop re-establishes its
+/// entanglement swap after a bounded backoff (see
+/// [`Fabric::with_defects`]), counted in the stats and the heatmap.
+///
+/// With an empty map this is exactly [`simulate_epr_on_fabric`] —
+/// bit-identical results.
+///
+/// # Errors
+///
+/// Returns [`CommError::Unroutable`] (naming the cut endpoints) when a
+/// request has no defect-free route.
+///
+/// # Panics
+///
+/// As [`simulate_epr_on_fabric`], plus if the map's topology differs
+/// from `topology`.
+pub fn simulate_epr_on_fabric_with_defects(
+    requests: &[EprRequest],
+    policy: DistributionPolicy,
+    config: &FabricEprConfig,
+    topology: Topology,
+    defects: &DefectMap,
+    fault_seed: u64,
+) -> Result<FabricEprResult, CommError> {
+    if defects.is_empty() {
+        return Ok(simulate_epr_on_fabric(requests, policy, config, topology));
+    }
+    assert!(
+        defects.topology() == topology,
+        "defect map does not match the fabric topology"
+    );
+    let mut routes = Vec::with_capacity(requests.len());
+    for r in requests {
+        match defects.route_avoiding(r.src, r.dst) {
+            Some(p) => routes.push(p),
+            None => {
+                return Err(CommError::Unroutable {
+                    src: r.src,
+                    dst: r.dst,
+                })
+            }
+        }
+    }
+    let fabric = Fabric::with_defects(
+        topology,
+        FabricConfig {
+            hop_cycles: config.epr.hop_cycles,
+            link_capacity: config.link_capacity,
+        },
+        defects,
+        fault_seed,
+    );
+    Ok(run_epr_phases(requests, routes, policy, config, fabric))
+}
+
+/// The shared three-phase engine behind the pristine and defect-aware
+/// entry points: plan launches from uncontended route estimates, fly
+/// every half through the given fabric, account measured arrivals.
+fn run_epr_phases(
+    requests: &[EprRequest],
+    routes: Vec<Path>,
+    policy: DistributionPolicy,
+    config: &FabricEprConfig,
+    mut fabric: Fabric,
+) -> FabricEprResult {
+    let times: Vec<u64> = requests.iter().map(|r| r.time).collect();
+    check_epr_inputs(&times, policy, config.epr.bandwidth);
+
+    // Phase 1: plan launches at the flow level (uncontended estimates).
     let total_route_hops: u64 = routes.iter().map(|r| r.len_hops() as u64).sum();
     let timed: Vec<(u64, u64)> = requests
         .iter()
@@ -144,13 +225,6 @@ pub fn simulate_epr_on_fabric(
     );
 
     // Phase 2: fly every half through the fabric.
-    let mut fabric = Fabric::new(
-        topology,
-        FabricConfig {
-            hop_cycles: config.epr.hop_cycles,
-            link_capacity: config.link_capacity,
-        },
-    );
     let ids: Vec<_> = routes
         .into_iter()
         .zip(&plan)
@@ -180,6 +254,7 @@ pub fn simulate_epr_on_fabric(
         peak_in_flight: stats.peak_in_flight,
         hottest_link_busy_cycles: fabric.hottest_link_busy_cycles(),
         total_route_hops,
+        transient_faults: stats.transient_faults,
         heatmap: fabric.heatmap(),
     }
 }

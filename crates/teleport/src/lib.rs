@@ -55,7 +55,8 @@ mod planar;
 mod simd;
 
 pub use fabric_pipeline::{
-    simulate_epr_on_fabric, window_sweep_fabric, EprRequest, FabricEprConfig, FabricEprResult,
+    simulate_epr_on_fabric, simulate_epr_on_fabric_with_defects, window_sweep_fabric, EprRequest,
+    FabricEprConfig, FabricEprResult,
 };
 pub use pipeline::{
     simulate_epr_distribution, window_sweep, DistributionPolicy, EprConfig, EprDemand,
@@ -63,7 +64,7 @@ pub use pipeline::{
 };
 pub use placement::{BaselinePlacement, CongestionAwarePlacement, PlacementStrategy};
 pub use planar::{
-    hop_cycles_for_distance, schedule_planar, schedule_planar_with, PlanarConfig, PlanarMachine,
-    PlanarSchedule,
+    hop_cycles_for_distance, schedule_planar, schedule_planar_on_defects, schedule_planar_with,
+    PlanarConfig, PlanarMachine, PlanarSchedule,
 };
 pub use simd::{schedule_simd, SimdConfig, SimdSchedule};

@@ -24,9 +24,9 @@
 //! `BENCH_epr.json`.
 
 use scq_layout::{optimize_placement, CongestionPlacerConfig, PlacementCost, PlacementOutcome};
-use scq_mesh::Coord;
+use scq_mesh::{CommError, Coord, DefectMap, LinkHeatmap};
 
-use crate::fabric_pipeline::simulate_epr_on_fabric;
+use crate::fabric_pipeline::{simulate_epr_on_fabric, simulate_epr_on_fabric_with_defects};
 use crate::planar::{PlanarConfig, PlanarMachine};
 use crate::simd::SimdSchedule;
 
@@ -111,6 +111,84 @@ impl CongestionAwarePlacement {
         let outcome = optimize_placement(&mut tiles, &cells, &demand, &mut evaluate, &self.placer);
         machine.tiles = tiles;
         (machine, outcome)
+    }
+
+    /// Like [`CongestionAwarePlacement::place_traced`], but on a
+    /// defect-laden machine: the starting floorplan avoids dead tiles
+    /// ([`PlanarMachine::with_defects`]), dead cells are excluded from
+    /// the legal move set, and candidates the defects cut off price as
+    /// infinite cost — the strict-Pareto acceptance can never choose
+    /// them, so defective columns are effectively infinite-cost. With
+    /// an empty map this is exactly `place_traced`.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`CommError`] when even the starting floorplan
+    /// cannot be built or routed on the cut machine.
+    pub fn place_traced_on_defects(
+        &self,
+        num_qubits: u32,
+        config: &PlanarConfig,
+        simd: &SimdSchedule,
+        defects: &DefectMap,
+        fault_seed: u64,
+    ) -> Result<(PlanarMachine, PlacementOutcome), CommError> {
+        if defects.is_empty() {
+            return Ok(self.place_traced(num_qubits, config, simd));
+        }
+        let mut machine = PlanarMachine::with_defects(num_qubits, config.epr_factories, defects)?;
+        // Prove the baseline routable up front: every later candidate
+        // either routes or prices as infinite and is rejected, so the
+        // returned machine is always schedulable.
+        machine.requests_for_avoiding(simd, defects)?;
+        let demand = per_qubit_demand(num_qubits, simd);
+        let cells: Vec<Coord> = data_cells(&machine)
+            .into_iter()
+            .filter(|&c| !defects.node_dead(c))
+            .collect();
+        let fabric_config = config.fabric_config();
+        let policy = config.policy;
+        let profile_machine = machine.clone();
+        let mut evaluate = |tiles: &[Coord]| {
+            let mut candidate = profile_machine.clone();
+            candidate.tiles = tiles.to_vec();
+            let priced = candidate
+                .requests_for_avoiding(simd, defects)
+                .and_then(|reqs| {
+                    simulate_epr_on_fabric_with_defects(
+                        &reqs,
+                        policy,
+                        &fabric_config,
+                        candidate.topology,
+                        defects,
+                        fault_seed,
+                    )
+                });
+            match priced {
+                Ok(result) => (
+                    PlacementCost {
+                        makespan: result.pipeline.makespan,
+                        lane_stalls: result.link_stall_cycles,
+                    },
+                    result.heatmap,
+                ),
+                Err(_) => (
+                    PlacementCost {
+                        makespan: u64::MAX,
+                        lane_stalls: u64::MAX,
+                    },
+                    LinkHeatmap::new(
+                        candidate.topology,
+                        vec![0; candidate.topology.num_links()],
+                        vec![0; candidate.topology.num_links()],
+                    ),
+                ),
+            }
+        };
+        let mut tiles = machine.tiles.clone();
+        let outcome = optimize_placement(&mut tiles, &cells, &demand, &mut evaluate, &self.placer);
+        machine.tiles = tiles;
+        Ok((machine, outcome))
     }
 }
 
@@ -289,6 +367,50 @@ mod tests {
         );
         let base = crate::planar::schedule_planar(&c, &dag, &contended_config());
         assert_eq!(opt, base);
+    }
+
+    #[test]
+    fn defect_aware_placement_keeps_tiles_off_dead_cells() {
+        // 28 qubits on a 6x5 data block leave two spare cells, so two
+        // dead data cells remain placeable.
+        let c = hot_column_circuit(28, 6, 12);
+        let simd = simd_for(&c);
+        let config = contended_config();
+        let (gw, gh) = PlanarMachine::grid_dims(28);
+        let map = DefectMap::from_text(&format!(
+            "dims {gw} {gh}\nnode 0 1\nnode 3 2\nflaky 1 1 1 2 0.25\n"
+        ))
+        .unwrap();
+        let (m, outcome) = CongestionAwarePlacement::default()
+            .place_traced_on_defects(28, &config, &simd, &map, 17)
+            .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for t in &m.tiles {
+            assert!(!map.node_dead(*t), "tile {t} on a dead cell");
+            assert!(t.y >= 1 && t.y < m.topology.height() - 1);
+            assert!(seen.insert(*t), "tile {t} double-occupied");
+        }
+        assert!(outcome.evaluations >= 1);
+        // Still deterministic.
+        let (m2, o2) = CongestionAwarePlacement::default()
+            .place_traced_on_defects(28, &config, &simd, &map, 17)
+            .unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(outcome, o2);
+    }
+
+    #[test]
+    fn defect_aware_placement_with_empty_map_matches_place_traced() {
+        let c = hot_column_circuit(36, 6, 12);
+        let simd = simd_for(&c);
+        let config = contended_config();
+        let (gw, gh) = PlanarMachine::grid_dims(36);
+        let map = DefectMap::empty(scq_mesh::Topology::new(gw, gh));
+        let clean = CongestionAwarePlacement::default().place_traced(36, &config, &simd);
+        let defected = CongestionAwarePlacement::default()
+            .place_traced_on_defects(36, &config, &simd, &map, 0)
+            .unwrap();
+        assert_eq!(clean, defected);
     }
 
     #[test]

@@ -13,11 +13,12 @@
 //! contention instead of a scalar mean-distance estimate.
 
 use scq_ir::{Circuit, DependencyDag};
-use scq_mesh::{Coord, Topology};
+use scq_mesh::{CommError, Coord, DefectMap, Topology};
 use scq_surface::{edge_factory_sites, FactoryConfig};
 
 use crate::fabric_pipeline::{
-    simulate_epr_on_fabric, EprRequest, FabricEprConfig, FabricEprResult,
+    simulate_epr_on_fabric, simulate_epr_on_fabric_with_defects, EprRequest, FabricEprConfig,
+    FabricEprResult,
 };
 use crate::pipeline::{DistributionPolicy, EprConfig, EprPipelineResult};
 use crate::placement::{BaselinePlacement, PlacementStrategy};
@@ -104,30 +105,113 @@ impl PlanarMachine {
     /// block, with `epr_factories` (or a [`FactoryConfig`] provision)
     /// factory tiles on the surrounding edge rows.
     pub fn new(num_qubits: u32, epr_factories: Option<u32>) -> Self {
-        let n = num_qubits.max(1);
-        let grid_w = (f64::from(n)).sqrt().ceil() as u32;
-        let grid_w = grid_w.max(1);
-        let grid_h = n.div_ceil(grid_w);
+        let (grid_w, grid_h) = Self::grid_dims(num_qubits);
         // Factory rows sit above and below the data block.
-        let topology = Topology::new(grid_w, grid_h + 2);
+        let topology = Topology::new(grid_w, grid_h);
         let tiles: Vec<Coord> = (0..num_qubits)
             .map(|q| Coord::new(q % grid_w, 1 + q / grid_w))
             .collect();
-        let count = epr_factories.unwrap_or_else(|| {
-            FactoryConfig::default()
-                .provision(u64::from(n), true)
-                .epr_factories
-                .max(2)
-        });
-        let factories = edge_factory_sites(grid_w, grid_h + 2, count.max(1))
-            .into_iter()
-            .map(|(x, y)| Coord::new(x, y))
-            .collect();
+        let factories = edge_factory_sites(
+            grid_w,
+            grid_h,
+            Self::factory_count(num_qubits, epr_factories),
+        )
+        .into_iter()
+        .map(|(x, y)| Coord::new(x, y))
+        .collect();
         PlanarMachine {
             topology,
             tiles,
             factories,
         }
+    }
+
+    /// The tile-grid dimensions [`PlanarMachine::new`] lays
+    /// `num_qubits` out on (data block plus the two factory rows) —
+    /// build planar-resolution [`DefectMap`]s on exactly these.
+    pub fn grid_dims(num_qubits: u32) -> (u32, u32) {
+        let n = num_qubits.max(1);
+        let grid_w = ((f64::from(n)).sqrt().ceil() as u32).max(1);
+        let grid_h = n.div_ceil(grid_w);
+        (grid_w, grid_h + 2)
+    }
+
+    /// Factory-site count for a machine of `num_qubits` (explicit or
+    /// [`FactoryConfig`]-provisioned).
+    fn factory_count(num_qubits: u32, epr_factories: Option<u32>) -> u32 {
+        let n = num_qubits.max(1);
+        epr_factories
+            .unwrap_or_else(|| {
+                FactoryConfig::default()
+                    .provision(u64::from(n), true)
+                    .epr_factories
+                    .max(2)
+            })
+            .max(1)
+    }
+
+    /// Lays the machine out around fabrication defects: data tiles fill
+    /// the live cells of the data block row-major (skipping dead
+    /// tiles), and factory sites that fell on dead tiles are dropped.
+    /// With an empty map this is exactly [`PlanarMachine::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Unplaceable`] if fewer live data cells than qubits
+    /// remain; [`CommError::NoLiveFactories`] if every factory site
+    /// died.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's dimensions differ from
+    /// [`PlanarMachine::grid_dims`].
+    pub fn with_defects(
+        num_qubits: u32,
+        epr_factories: Option<u32>,
+        defects: &DefectMap,
+    ) -> Result<Self, CommError> {
+        if defects.is_empty() {
+            return Ok(Self::new(num_qubits, epr_factories));
+        }
+        let (grid_w, grid_h) = Self::grid_dims(num_qubits);
+        let topology = Topology::new(grid_w, grid_h);
+        assert!(
+            defects.topology() == topology,
+            "defect map is {}x{} but the machine grid is {grid_w}x{grid_h}",
+            defects.topology().width(),
+            defects.topology().height()
+        );
+        let live: Vec<Coord> = (1..grid_h - 1)
+            .flat_map(|y| (0..grid_w).map(move |x| Coord::new(x, y)))
+            .filter(|&c| !defects.node_dead(c))
+            .collect();
+        let needed = num_qubits as usize;
+        if live.len() < needed {
+            return Err(CommError::Unplaceable {
+                needed,
+                available: live.len(),
+            });
+        }
+        let tiles = live[..needed].to_vec();
+        let sites = edge_factory_sites(
+            grid_w,
+            grid_h,
+            Self::factory_count(num_qubits, epr_factories),
+        );
+        let dead = sites.len();
+        let factories: Vec<Coord> = sites
+            .into_iter()
+            .map(|(x, y)| Coord::new(x, y))
+            .filter(|&f| !defects.node_dead(f))
+            .collect();
+        if factories.is_empty() {
+            return Err(CommError::NoLiveFactories { dead });
+        }
+        Ok(PlanarMachine {
+            topology,
+            tiles,
+            factories,
+        })
     }
 
     /// The factory tile nearest to `dst` (ties break on the lowest
@@ -156,6 +240,55 @@ impl PlanarMachine {
             })
             .collect()
     }
+
+    /// Like [`PlanarMachine::requests_for`], but sourcing each teleport
+    /// at the nearest factory that still has a defect-free route to the
+    /// destination tile (ties break on the lowest factory index). With
+    /// an empty map this is exactly [`PlanarMachine::requests_for`].
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Unroutable`] if some destination tile is walled off
+    /// from every live factory.
+    pub fn requests_for_avoiding(
+        &self,
+        simd: &SimdSchedule,
+        defects: &DefectMap,
+    ) -> Result<Vec<EprRequest>, CommError> {
+        if defects.is_empty() {
+            return Ok(self.requests_for(simd));
+        }
+        // Memoize the chosen factory per qubit: reachability needs a
+        // BFS, and demand traces revisit the same tiles constantly.
+        let mut chosen: Vec<Option<Coord>> = vec![None; self.tiles.len()];
+        let mut requests = Vec::with_capacity(simd.teleport_times.len());
+        for (&time, &q) in simd.teleport_times.iter().zip(&simd.teleport_qubits) {
+            let q = q as usize;
+            let dst = self.tiles[q];
+            let src = match chosen[q] {
+                Some(s) => s,
+                None => {
+                    let mut best: Option<(u32, Coord)> = None;
+                    for &f in &self.factories {
+                        let d = f.manhattan(dst);
+                        if best.map(|(bd, _)| d < bd).unwrap_or(true)
+                            && defects.route_avoiding(f, dst).is_some()
+                        {
+                            best = Some((d, f));
+                        }
+                    }
+                    let s = best.map(|(_, f)| f).ok_or(CommError::Unroutable {
+                        src: self.nearest_factory(dst),
+                        dst,
+                    })?;
+                    chosen[q] = Some(s);
+                    s
+                }
+            };
+            requests.push(EprRequest { time, src, dst });
+        }
+        Ok(requests)
+    }
 }
 
 /// Result of scheduling a circuit on the planar architecture.
@@ -179,6 +312,9 @@ pub struct PlanarSchedule {
     pub peak_in_flight_eprs: usize,
     /// Busy-cycles on the hottest fabric link.
     pub hottest_link_busy_cycles: u64,
+    /// Transient link faults absorbed by the EPR pipeline's
+    /// retry/backoff (always 0 on defect-free hardware).
+    pub transient_faults: u64,
 }
 
 impl PlanarSchedule {
@@ -237,6 +373,7 @@ pub fn schedule_planar_with(
         link_stall_cycles,
         peak_in_flight,
         hottest_link_busy_cycles,
+        transient_faults,
         ..
     } = simulate_epr_on_fabric(
         &requests,
@@ -254,7 +391,66 @@ pub fn schedule_planar_with(
         link_stall_cycles,
         peak_in_flight_eprs: peak_in_flight,
         hottest_link_busy_cycles,
+        transient_faults,
     }
+}
+
+/// Like [`schedule_planar`], but on a machine with fabrication defects:
+/// data tiles and factories avoid dead tiles
+/// ([`PlanarMachine::with_defects`]), EPR routes detour around dead
+/// links, and flaky links inject seeded transient faults (retried with
+/// bounded backoff; `fault_seed` keys the draws). With an empty map the
+/// result is bit-identical to [`schedule_planar`].
+///
+/// # Errors
+///
+/// A structured [`CommError`] when the defects make the machine
+/// unbuildable or the demand unroutable — never a panic or a hang.
+///
+/// # Panics
+///
+/// As [`schedule_planar`], plus if the map's dimensions differ from
+/// [`PlanarMachine::grid_dims`].
+pub fn schedule_planar_on_defects(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    config: &PlanarConfig,
+    defects: &DefectMap,
+    fault_seed: u64,
+) -> Result<PlanarSchedule, CommError> {
+    if defects.is_empty() {
+        return Ok(schedule_planar(circuit, dag, config));
+    }
+    let simd = schedule_simd(circuit, dag, &config.simd);
+    let machine = PlanarMachine::with_defects(circuit.num_qubits(), config.epr_factories, defects)?;
+    let requests = machine.requests_for_avoiding(&simd, defects)?;
+    let FabricEprResult {
+        pipeline: epr,
+        link_stall_cycles,
+        peak_in_flight,
+        hottest_link_busy_cycles,
+        transient_faults,
+        ..
+    } = simulate_epr_on_fabric_with_defects(
+        &requests,
+        config.policy,
+        &config.fabric_config(),
+        machine.topology,
+        defects,
+        fault_seed,
+    )?;
+    let cycles = simd.timesteps.max(epr.makespan);
+    Ok(PlanarSchedule {
+        machine,
+        cycles,
+        timesteps: simd.timesteps,
+        simd,
+        epr,
+        link_stall_cycles,
+        peak_in_flight_eprs: peak_in_flight,
+        hottest_link_busy_cycles,
+        transient_faults,
+    })
 }
 
 #[cfg(test)]
@@ -393,5 +589,116 @@ mod tests {
         let s = run(&c, &PlanarConfig::default());
         assert_eq!(s.epr.teleports as u64, s.simd.total_teleports());
         assert!(s.simd.magic_teleports > 0);
+    }
+
+    #[test]
+    fn empty_defect_map_schedules_bit_identically() {
+        let c = mixed_circuit(16, 4);
+        let dag = DependencyDag::from_circuit(&c);
+        let config = PlanarConfig::default();
+        let (gw, gh) = PlanarMachine::grid_dims(16);
+        let map = DefectMap::empty(Topology::new(gw, gh));
+        let clean = schedule_planar(&c, &dag, &config);
+        let defected = schedule_planar_on_defects(&c, &dag, &config, &map, 1234).unwrap();
+        assert_eq!(clean, defected);
+    }
+
+    #[test]
+    fn defected_machine_avoids_dead_tiles_and_still_schedules() {
+        let c = mixed_circuit(16, 4);
+        let dag = DependencyDag::from_circuit(&c);
+        let config = PlanarConfig::default();
+        let (gw, gh) = PlanarMachine::grid_dims(16);
+        // 16 qubits on a 4x4 block: killing two data cells forces the
+        // last two qubits onto different tiles (the block has no spare
+        // cells, so this needs... actually 4x4 = 16 cells exactly).
+        // Kill a factory-row tile and a link instead, and verify the
+        // machine routes around them.
+        let map =
+            DefectMap::from_text(&format!("dims {gw} {gh}\nnode 1 0\nlink 1 2 2 2\n")).unwrap();
+        let s = schedule_planar_on_defects(&c, &dag, &config, &map, 99).unwrap();
+        for t in &s.machine.tiles {
+            assert!(!map.node_dead(*t), "data tile {t} on a dead cell");
+        }
+        for f in &s.machine.factories {
+            assert!(!map.node_dead(*f), "factory {f} on a dead cell");
+        }
+        assert!(s.cycles >= s.timesteps);
+    }
+
+    #[test]
+    fn too_many_dead_cells_is_unplaceable() {
+        let (gw, gh) = PlanarMachine::grid_dims(16);
+        assert_eq!((gw, gh), (4, 6));
+        // Kill the whole data block: nothing left to place on.
+        let mut text = format!("dims {gw} {gh}\n");
+        for y in 1..gh - 1 {
+            for x in 0..gw {
+                text.push_str(&format!("node {x} {y}\n"));
+            }
+        }
+        let map = DefectMap::from_text(&text).unwrap();
+        let err = PlanarMachine::with_defects(16, None, &map).unwrap_err();
+        assert!(matches!(
+            err,
+            CommError::Unplaceable {
+                needed: 16,
+                available: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn all_dead_factories_is_structured() {
+        let (gw, gh) = PlanarMachine::grid_dims(9);
+        let mut text = format!("dims {gw} {gh}\n");
+        for x in 0..gw {
+            text.push_str(&format!("node {x} 0\nnode {x} {}\n", gh - 1));
+        }
+        let map = DefectMap::from_text(&text).unwrap();
+        let err = PlanarMachine::with_defects(9, None, &map).unwrap_err();
+        assert!(matches!(err, CommError::NoLiveFactories { .. }));
+    }
+
+    #[test]
+    fn walled_off_tile_is_unroutable() {
+        let c = mixed_circuit(16, 2);
+        let dag = DependencyDag::from_circuit(&c);
+        let config = PlanarConfig::default();
+        let (gw, gh) = PlanarMachine::grid_dims(16);
+        // Cut every link around data cell (0, 1) without killing it:
+        // the machine builds, but demand to that tile cannot route.
+        let text = format!("dims {gw} {gh}\nlink 0 1 1 1\nlink 0 1 0 0\nlink 0 1 0 2\n");
+        let map = DefectMap::from_text(&text).unwrap();
+        let err = schedule_planar_on_defects(&c, &dag, &config, &map, 5).unwrap_err();
+        assert!(matches!(err, CommError::Unroutable { dst, .. } if dst == Coord::new(0, 1)));
+    }
+
+    #[test]
+    fn flaky_links_degrade_but_complete() {
+        let c = mixed_circuit(16, 4);
+        let dag = DependencyDag::from_circuit(&c);
+        let config = PlanarConfig {
+            link_capacity: 2,
+            ..Default::default()
+        };
+        let (gw, gh) = PlanarMachine::grid_dims(16);
+        // Every vertical link out of the top factory row is flaky.
+        let mut text = format!("dims {gw} {gh}\n");
+        for x in 0..gw {
+            text.push_str(&format!("flaky {x} 0 {x} 1 0.5\n"));
+        }
+        let map = DefectMap::from_text(&text).unwrap();
+        let clean = schedule_planar(&c, &dag, &config);
+        let faulty = schedule_planar_on_defects(&c, &dag, &config, &map, 7).unwrap();
+        assert!(
+            faulty.cycles >= clean.cycles,
+            "faults shortened the schedule: {} < {}",
+            faulty.cycles,
+            clean.cycles
+        );
+        // Deterministic under the same seed.
+        let again = schedule_planar_on_defects(&c, &dag, &config, &map, 7).unwrap();
+        assert_eq!(faulty, again);
     }
 }

@@ -7,15 +7,29 @@
 //! scq compare  <file.qasm> [p_physical]        encoding recommendation
 //! scq heatmap  <file.qasm> [distance]          braid congestion heatmap
 //! ```
+//!
+//! `schedule` and `heatmap` additionally accept the defect flags
+//! `--defect-rate R`, `--defect-seed S`, and `--defect-map FILE` to run
+//! the same circuit on non-ideal hardware. Sampled maps are drawn
+//! per backend at that backend's own mesh dimensions from the shared
+//! seed; a map file applies to whichever backend matches its declared
+//! dimensions (the other backend runs clean, with a note). Circuits
+//! that the defects make unroutable exit nonzero with a structured
+//! diagnostic — never a panic or a hang.
 
 use std::process::ExitCode;
 
-use scq::braid::{schedule_traced, BraidConfig, Policy};
+use scq::braid::{
+    braid_mesh_dims, schedule_traced, schedule_traced_on_defects, BraidConfig, Policy,
+};
 use scq::estimate::{estimate_both, AppProfile, EstimateConfig};
-use scq::ir::{analysis, circuit_from_qasm, optimize, Circuit, DependencyDag, InteractionGraph};
+use scq::ir::{
+    analysis, circuit_from_qasm, optimize, Circuit, CliError, DependencyDag, InteractionGraph,
+};
 use scq::layout::place;
+use scq::mesh::{DefectMap, Topology};
 use scq::surface::Technology;
-use scq::teleport::{schedule_planar, PlanarConfig};
+use scq::teleport::{schedule_planar, schedule_planar_on_defects, PlanarConfig, PlanarMachine};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +44,10 @@ fn main() -> ExitCode {
             eprintln!("  schedule <file.qasm> [policy] [dist]  braid + planar schedules");
             eprintln!("  compare  <file.qasm> [p_physical]     encoding recommendation");
             eprintln!("  heatmap  <file.qasm> [dist]           braid congestion heatmap");
+            eprintln!("defect flags (schedule, heatmap):");
+            eprintln!("  --defect-rate R    sample dead tiles/links at rate R in [0, 1)");
+            eprintln!("  --defect-seed S    PRNG seed for sampling and transient faults");
+            eprintln!("  --defect-map FILE  explicit defect map (dims must match a backend)");
             return ExitCode::from(2);
         }
     };
@@ -49,10 +67,101 @@ fn with_circuit(
     file_arg: usize,
     run: fn(&Circuit, &[String]) -> CliResult,
 ) -> CliResult {
-    let path = args.get(file_arg).ok_or("missing <file.qasm> argument")?;
-    let text = std::fs::read_to_string(path)?;
+    let path = args
+        .get(file_arg)
+        .ok_or_else(|| CliError::usage("missing <file.qasm> argument"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, &e))?;
     let circuit = circuit_from_qasm(&text)?;
     run(&circuit, &args[file_arg + 1..])
+}
+
+/// Defect flags shared by `schedule` and `heatmap`.
+struct DefectOpts {
+    rate: f64,
+    seed: u64,
+    map_path: Option<String>,
+}
+
+impl DefectOpts {
+    /// Materializes the defect map for a backend whose mesh is `dims`.
+    ///
+    /// A `--defect-map` file only applies when its declared dimensions
+    /// match this backend; otherwise the backend runs clean and a note
+    /// says so. With `--defect-rate`, each backend samples at its own
+    /// dimensions from the shared seed.
+    fn map_for(&self, dims: (u32, u32), backend: &str) -> Result<Option<DefectMap>, CliError> {
+        if let Some(path) = &self.map_path {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, &e))?;
+            let map = DefectMap::from_text(&text)
+                .map_err(|e| CliError::invalid(format!("{path}: {e}")))?;
+            let topo = map.topology();
+            if (topo.width(), topo.height()) == dims {
+                return Ok(Some(map));
+            }
+            eprintln!(
+                "note: defect map {path} is {}x{} but the {backend} mesh is {}x{}; \
+                 running the {backend} backend clean",
+                topo.width(),
+                topo.height(),
+                dims.0,
+                dims.1
+            );
+            return Ok(None);
+        }
+        if self.rate > 0.0 {
+            let topo = Topology::new(dims.0, dims.1);
+            return Ok(Some(DefectMap::sample(topo, self.rate, self.seed)));
+        }
+        Ok(None)
+    }
+}
+
+/// Splits `--defect-*` flags out of `rest`, leaving the positionals.
+fn parse_defect_opts(rest: &[String]) -> Result<(Vec<String>, DefectOpts), CliError> {
+    let mut positionals = Vec::new();
+    let mut opts = DefectOpts {
+        rate: 0.0,
+        seed: 0,
+        map_path: None,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--defect-rate" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--defect-rate needs a value"))?;
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad defect rate `{v}`")))?;
+                if !(0.0..1.0).contains(&r) {
+                    return Err(CliError::invalid(format!(
+                        "defect rate must be in [0, 1), got {r}"
+                    )));
+                }
+                opts.rate = r;
+            }
+            "--defect-seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--defect-seed needs a value"))?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad defect seed `{v}`")))?;
+            }
+            "--defect-map" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--defect-map needs a path"))?;
+                opts.map_path = Some(v.clone());
+            }
+            s if s.starts_with("--") => {
+                return Err(CliError::usage(format!("unknown flag `{s}`")));
+            }
+            _ => positionals.push(arg.clone()),
+        }
+    }
+    Ok((positionals, opts))
 }
 
 fn cmd_analyze(circuit: &Circuit, _rest: &[String]) -> CliResult {
@@ -78,32 +187,52 @@ fn cmd_analyze(circuit: &Circuit, _rest: &[String]) -> CliResult {
     Ok(())
 }
 
-fn parse_policy(rest: &[String]) -> Result<Policy, Box<dyn std::error::Error>> {
+fn parse_policy(rest: &[String]) -> Result<Policy, CliError> {
     match rest.first() {
         None => Ok(Policy::P6),
         Some(s) => {
-            let idx: usize = s.parse().map_err(|_| format!("bad policy `{s}`"))?;
-            Policy::from_index(idx).ok_or_else(|| format!("policy {idx} out of range").into())
+            let idx: usize = s
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad policy `{s}`")))?;
+            Policy::from_index(idx)
+                .ok_or_else(|| CliError::invalid(format!("policy {idx} out of range")))
         }
     }
 }
 
-fn parse_distance(rest: &[String], pos: usize) -> Result<u32, Box<dyn std::error::Error>> {
+fn parse_distance(rest: &[String], pos: usize) -> Result<u32, CliError> {
     match rest.get(pos) {
         None => Ok(5),
         Some(s) => {
-            let d: u32 = s.parse().map_err(|_| format!("bad distance `{s}`"))?;
+            let d: u32 = s
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad distance `{s}`")))?;
             if d.is_multiple_of(2) || d < 3 {
-                return Err(format!("distance must be odd and >= 3, got {d}").into());
+                return Err(CliError::invalid(format!(
+                    "distance must be odd and >= 3, got {d}"
+                )));
             }
             Ok(d)
         }
     }
 }
 
+fn describe_map(map: &DefectMap, backend: &str) {
+    let topo = map.topology();
+    println!(
+        "defects ({backend} mesh {}x{}): {} dead tiles, {} dead links, {} flaky links",
+        topo.width(),
+        topo.height(),
+        map.dead_node_count(),
+        map.dead_link_count(),
+        map.flaky_link_count()
+    );
+}
+
 fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
-    let policy = parse_policy(rest)?;
-    let code_distance = parse_distance(rest, 1)?;
+    let (pos, defects) = parse_defect_opts(rest)?;
+    let policy = parse_policy(&pos)?;
+    let code_distance = parse_distance(&pos, 1)?;
     let dag = DependencyDag::from_circuit(circuit);
     let graph = InteractionGraph::from_circuit(circuit);
     let layout = place(&graph, policy.layout_strategy(), None);
@@ -112,34 +241,51 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
         code_distance,
         ..Default::default()
     };
-    let (braid, trace) = schedule_traced(circuit, &dag, &layout, &config)?;
+    let (braid, trace) = match defects.map_for(braid_mesh_dims(&layout, circuit), "braid")? {
+        Some(map) => {
+            describe_map(&map, "braid");
+            schedule_traced_on_defects(circuit, &dag, &layout, &config, &map)?
+        }
+        None => schedule_traced(circuit, &dag, &layout, &config)?,
+    };
     trace.validate()?;
     println!("double-defect ({policy}, d={code_distance}): {braid}");
     println!(
         "  static replay: conflict-free ({} braid legs)",
         trace.events.len()
     );
-    let planar = schedule_planar(
-        circuit,
-        &dag,
-        &PlanarConfig {
-            code_distance,
-            ..Default::default()
-        },
-    );
+    let planar_config = PlanarConfig {
+        code_distance,
+        ..Default::default()
+    };
+    let planar = match defects.map_for(PlanarMachine::grid_dims(circuit.num_qubits()), "planar")? {
+        Some(map) => {
+            describe_map(&map, "planar");
+            schedule_planar_on_defects(circuit, &dag, &planar_config, &map, defects.seed)?
+        }
+        None => schedule_planar(circuit, &dag, &planar_config),
+    };
     println!(
         "planar (Multi-SIMD): {} cycles, {} teleports, peak {} live EPR pairs",
         planar.cycles,
         planar.simd.total_teleports(),
         planar.epr.peak_live_eprs
     );
+    if planar.transient_faults > 0 {
+        println!(
+            "  transient faults: {} hop retries absorbed by the EPR pipeline",
+            planar.transient_faults
+        );
+    }
     Ok(())
 }
 
 fn cmd_compare(circuit: &Circuit, rest: &[String]) -> CliResult {
     let p_physical: f64 = match rest.first() {
         None => 1e-5,
-        Some(s) => s.parse().map_err(|_| format!("bad error rate `{s}`"))?,
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad error rate `{s}`")))?,
     };
     let profile = AppProfile::from_circuit(circuit, circuit.name());
     let config = EstimateConfig {
@@ -162,7 +308,8 @@ fn cmd_compare(circuit: &Circuit, rest: &[String]) -> CliResult {
 }
 
 fn cmd_heatmap(circuit: &Circuit, rest: &[String]) -> CliResult {
-    let code_distance = parse_distance(rest, 0)?;
+    let (pos, defects) = parse_defect_opts(rest)?;
+    let code_distance = parse_distance(&pos, 0)?;
     let dag = DependencyDag::from_circuit(circuit);
     let graph = InteractionGraph::from_circuit(circuit);
     let layout = place(&graph, Policy::P6.layout_strategy(), None);
@@ -171,7 +318,13 @@ fn cmd_heatmap(circuit: &Circuit, rest: &[String]) -> CliResult {
         code_distance,
         ..Default::default()
     };
-    let (braid, trace) = schedule_traced(circuit, &dag, &layout, &config)?;
+    let (braid, trace) = match defects.map_for(braid_mesh_dims(&layout, circuit), "braid")? {
+        Some(map) => {
+            describe_map(&map, "braid");
+            schedule_traced_on_defects(circuit, &dag, &layout, &config, &map)?
+        }
+        None => schedule_traced(circuit, &dag, &layout, &config)?,
+    };
     println!(
         "{} braid legs over {} cycles, peak {} concurrent braids",
         trace.events.len(),
