@@ -1,3 +1,5 @@
+//! Spot-check: prints SHA-1 generator op counts across widths/rounds.
+
 fn main() {
     for (w, r) in [(8u32, 4u32), (16, 4), (32, 4), (32, 8)] {
         let c = scq_apps::sha1(&scq_apps::Sha1Params {

@@ -9,7 +9,18 @@
 //! 4. **Lattice surgery**: why the third communication method was set
 //!    aside (Section 8.2 unit costs).
 
+#![warn(clippy::disallowed_methods)]
+
 use scq_apps::{ising, IsingParams};
+
+/// Unwraps a toolflow result or exits nonzero with a diagnostic — the
+/// ablation bin surfaces structured errors instead of panicking.
+fn or_die<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {what}: {e}");
+        std::process::exit(1)
+    })
+}
 use scq_bench::parallel_map;
 use scq_braid::{schedule, BraidConfig, Policy, TGateModel};
 use scq_core::{CommBackend, TeleportBackend};
@@ -59,7 +70,10 @@ fn main() {
             code_distance: 5,
             ..Default::default()
         };
-        schedule(&circuit, &dag, &layout, &config).unwrap()
+        or_die(
+            schedule(&circuit, &dag, &layout, &config),
+            "braid scheduling",
+        )
     });
     for ((name, _), s) in variants.iter().zip(&results) {
         println!(
@@ -88,7 +102,10 @@ fn main() {
             t_gate_model: model,
             ..Default::default()
         };
-        schedule(&circuit, &dag, &layout, &config).unwrap()
+        or_die(
+            schedule(&circuit, &dag, &layout, &config),
+            "braid scheduling",
+        )
     });
     for ((name, _), s) in variants.iter().zip(&results) {
         println!(
@@ -119,7 +136,10 @@ fn main() {
             drop_timeout,
             ..Default::default()
         };
-        schedule(&circuit, &dag, &layout, &config).unwrap()
+        or_die(
+            schedule(&circuit, &dag, &layout, &config),
+            "braid scheduling",
+        )
     });
     for ((name, _, _), s) in variants.iter().zip(&results) {
         println!(
@@ -164,12 +184,16 @@ fn main() {
             link_capacity,
             ..Default::default()
         });
-        backend
-            .schedule(&circuit, &dag)
-            .expect("planar backend is total")
+        or_die(backend.schedule(&circuit, &dag), "planar scheduling")
     });
     for ((name, _), report) in variants.iter().zip(&results) {
-        let planar = report.detail.as_teleport().expect("teleport detail");
+        let planar = or_die(
+            report
+                .detail
+                .as_teleport()
+                .ok_or("report carries no teleport detail"),
+            "planar ablation",
+        );
         println!(
             "{name:<22} {:>10} {:>14} {:>14} {:>10.2}",
             report.cycles,

@@ -29,6 +29,8 @@
 //!
 //! CI runs this right after `perf_report` regenerates both files.
 
+#![warn(clippy::disallowed_methods)]
+
 use std::process::ExitCode;
 
 /// Default floor on the geomean speedup (measured ~8x; a drop to 3x

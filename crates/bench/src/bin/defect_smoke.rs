@@ -10,8 +10,19 @@
 //!
 //! Exits nonzero (via the failed assertion) when either half breaks.
 
+#![warn(clippy::disallowed_methods)]
+
 use scq_bench::{fig6_workloads, run_planar_on_defects, run_policy, run_policy_on_defects};
 use scq_braid::Policy;
+
+/// Unwraps a rate-0 scheduling result or exits nonzero — the smoke bin
+/// reports structured contract violations instead of panicking.
+fn or_die<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {what}: {e}");
+        std::process::exit(1)
+    })
+}
 use scq_ir::DependencyDag;
 use scq_teleport::{schedule_planar, PlanarConfig};
 
@@ -30,9 +41,10 @@ fn main() {
 
         // Half 1: the empty-map paths are bit-identical to HEAD.
         let clean_braid = run_policy(circuit, Policy::P6, CODE_DISTANCE);
-        let zero_braid =
-            run_policy_on_defects(circuit, Policy::P6, CODE_DISTANCE, 0.0, DEFECT_SEED)
-                .expect("rate-0 braid run schedules cleanly");
+        let zero_braid = or_die(
+            run_policy_on_defects(circuit, Policy::P6, CODE_DISTANCE, 0.0, DEFECT_SEED),
+            "rate-0 braid run must schedule cleanly",
+        );
         assert_eq!(
             clean_braid, zero_braid,
             "{app}: rate-0 braid schedule diverged from the clean path"
@@ -45,8 +57,10 @@ fn main() {
                 ..Default::default()
             },
         );
-        let zero_planar = run_planar_on_defects(circuit, CODE_DISTANCE, 0.0, DEFECT_SEED)
-            .expect("rate-0 planar run schedules cleanly");
+        let zero_planar = or_die(
+            run_planar_on_defects(circuit, CODE_DISTANCE, 0.0, DEFECT_SEED),
+            "rate-0 planar run must schedule cleanly",
+        );
         assert_eq!(
             clean_planar, zero_planar,
             "{app}: rate-0 planar schedule diverged from the clean path"

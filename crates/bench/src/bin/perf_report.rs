@@ -11,6 +11,8 @@
 //! (stable wall-clocks), then re-run in parallel once to report the
 //! fan-out wall-clock of the whole grid.
 
+#![warn(clippy::disallowed_methods)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -18,13 +20,15 @@ use scq_bench::{
     fig6_workloads, parallel_map, run_planar_on_defects, run_policy, run_policy_on_defects,
     run_policy_reference,
 };
-use scq_braid::Policy;
-use scq_ir::DependencyDag;
+use scq_braid::{schedule_traced, BraidConfig, Policy};
+use scq_ir::{DependencyDag, InteractionGraph};
+use scq_layout::place;
 use scq_teleport::{
-    schedule_planar, schedule_simd, simulate_epr_distribution, simulate_epr_on_fabric,
-    CongestionAwarePlacement, DistributionPolicy, EprConfig, EprDemand, FabricEprConfig,
-    PlanarConfig, PlanarMachine, SimdConfig,
+    schedule_planar, schedule_planar_traced, schedule_simd, simulate_epr_distribution,
+    simulate_epr_on_fabric, CongestionAwarePlacement, DistributionPolicy, EprConfig, EprDemand,
+    FabricEprConfig, PlanarConfig, PlanarMachine, SimdConfig,
 };
+use scq_verify::{certify_braid_trace, certify_planar_schedule};
 
 /// Writes a regenerated report, or exits nonzero with a diagnostic —
 /// an unwritable working directory must not panic the toolflow.
@@ -100,6 +104,41 @@ fn main() {
     });
     let parallel_grid_secs = t0.elapsed().as_secs_f64();
 
+    // Certifier wall-time over the same grid: emit every traced braid
+    // schedule first (untimed), then time only the independent replay,
+    // so the figure is the cost of *verification*, not of scheduling
+    // twice. Certification stays off the hot path — the guarded
+    // fast/ref timings above never run it.
+    let traced: Vec<_> = grid
+        .iter()
+        .map(|&(w, policy)| {
+            let circuit = &workloads[w].1;
+            let dag = DependencyDag::from_circuit(circuit);
+            let graph = InteractionGraph::from_circuit(circuit);
+            let layout = place(&graph, policy.layout_strategy(), None);
+            let config = BraidConfig {
+                policy,
+                code_distance: CODE_DISTANCE,
+                ..Default::default()
+            };
+            let (_, trace) = schedule_traced(circuit, &dag, &layout, &config).unwrap_or_else(|e| {
+                eprintln!("error: fig6 workload failed to schedule: {e}");
+                std::process::exit(1)
+            });
+            (w, dag, trace)
+        })
+        .collect();
+    let t0 = Instant::now();
+    for (w, dag, trace) in &traced {
+        let findings = certify_braid_trace(trace, &workloads[*w].1, dag, None);
+        assert!(
+            findings.is_empty(),
+            "{}: braid trace failed certification: {findings:?}",
+            workloads[*w].0.name()
+        );
+    }
+    let certify_secs = t0.elapsed().as_secs_f64();
+
     let total_fast: f64 = points.iter().map(|p| p.fast_secs).sum();
     let total_ref: f64 = points.iter().map(|p| p.ref_secs).sum();
     let geomean_speedup =
@@ -138,6 +177,10 @@ fn main() {
         "parallel grid wall-clock (fast engine): {:.1}ms",
         parallel_grid_secs * 1e3
     );
+    println!(
+        "grid certification wall-clock (scq-verify replay): {:.1}ms",
+        certify_secs * 1e3
+    );
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"code_distance\": {CODE_DISTANCE},");
@@ -159,7 +202,8 @@ fn main() {
         total_ref / total_fast.max(1e-12)
     );
     let _ = writeln!(json, "  \"geomean_speedup\": {geomean_speedup:.2},");
-    let _ = writeln!(json, "  \"parallel_grid_secs\": {parallel_grid_secs:.6}");
+    let _ = writeln!(json, "  \"parallel_grid_secs\": {parallel_grid_secs:.6},");
+    let _ = writeln!(json, "  \"certify_secs\": {certify_secs:.6}");
     json.push('}');
     json.push('\n');
     write_report("BENCH_sched.json", &json);
@@ -438,6 +482,35 @@ fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
         "congestion-aware placement improved no contended point"
     );
 
+    // Planar certifier wall-time: schedule every workload traced
+    // (untimed), then time only the independent transcript replay.
+    let traced: Vec<_> = workloads
+        .iter()
+        .map(|(_, circuit)| {
+            let dag = DependencyDag::from_circuit(circuit);
+            let config = PlanarConfig {
+                code_distance: CODE_DISTANCE,
+                ..Default::default()
+            };
+            let (schedule, transcript) = schedule_planar_traced(circuit, &dag, &config);
+            (dag, schedule, transcript)
+        })
+        .collect();
+    let t0 = Instant::now();
+    for ((bench, circuit), (dag, schedule, transcript)) in workloads.iter().zip(&traced) {
+        let findings = certify_planar_schedule(schedule, transcript, circuit, dag, None);
+        assert!(
+            findings.is_empty(),
+            "{}: planar schedule failed certification: {findings:?}",
+            bench.name()
+        );
+    }
+    let certify_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "\nplanar certification wall-clock (scq-verify replay): {:.1}ms",
+        certify_secs * 1e3
+    );
+
     let degradation = degradation_report(workloads);
     println!(
         "\nDegradation study ({:.0}% sampled defects, seed {DEFECT_SEED}, envelope {DEGRADATION_ENVELOPE}x)",
@@ -522,6 +595,7 @@ fn epr_report(workloads: &[(scq_apps::Benchmark, scq_ir::Circuit)]) {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"certify_secs\": {certify_secs:.6},");
     let _ = writeln!(json, "  \"defect_rate\": {DEFECT_RATE},");
     let _ = writeln!(json, "  \"defect_seed\": {DEFECT_SEED},");
     let _ = writeln!(json, "  \"degradation_envelope\": {DEGRADATION_ENVELOPE},");

@@ -12,9 +12,11 @@ use scq_bench::{
     fig6_workloads, parallel_map, run_planar_on_defects, run_policy, run_policy_on_defects,
     run_policy_reference,
 };
-use scq_braid::Policy;
-use scq_ir::DependencyDag;
-use scq_teleport::{schedule_planar, PlanarConfig};
+use scq_braid::{schedule_traced, BraidConfig, Policy};
+use scq_ir::{DependencyDag, InteractionGraph};
+use scq_layout::place;
+use scq_teleport::{schedule_planar, schedule_planar_traced, PlanarConfig};
+use scq_verify::{certify_braid_trace, certify_planar_schedule};
 
 const CODE_DISTANCE: u32 = 5;
 
@@ -71,6 +73,67 @@ fn empty_defect_map_braid_schedules_match_clean_on_fig6_grid() {
     .flatten()
     .collect();
     assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+}
+
+/// Bit-identical is necessary but not sufficient — both engines could
+/// share a wrong exclusivity rule. The independent certifier closes
+/// that gap: every fig6 braid trace must replay without a single
+/// finding from the interval race detector.
+#[test]
+fn braid_traces_certify_clean_on_fig6_grid() {
+    let workloads = fig6_workloads();
+    let points: Vec<(usize, Policy)> = (0..workloads.len())
+        .flat_map(|w| Policy::ALL.iter().map(move |&p| (w, p)))
+        .collect();
+    let violations: Vec<String> = parallel_map(&points, |&(w, policy)| {
+        let (bench, circuit) = &workloads[w];
+        let dag = DependencyDag::from_circuit(circuit);
+        let graph = InteractionGraph::from_circuit(circuit);
+        let layout = place(&graph, policy.layout_strategy(), None);
+        let config = BraidConfig {
+            policy,
+            code_distance: CODE_DISTANCE,
+            ..Default::default()
+        };
+        let (_, trace) = schedule_traced(circuit, &dag, &layout, &config)
+            .expect("figure 6 workloads schedule cleanly");
+        let findings = certify_braid_trace(&trace, circuit, &dag, None);
+        findings
+            .into_iter()
+            .map(|f| format!("{} under {policy}: {f}", bench.name()))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+}
+
+/// The planar counterpart: every fig6 schedule's EPR transcript must
+/// replay clean through the independent hop/lane/dependency certifier.
+#[test]
+fn planar_schedules_certify_clean_on_fig6_workloads() {
+    let workloads = fig6_workloads();
+    let violations: Vec<String> = parallel_map(&workloads, |(bench, circuit)| {
+        let dag = DependencyDag::from_circuit(circuit);
+        let (schedule, transcript) = schedule_planar_traced(
+            circuit,
+            &dag,
+            &PlanarConfig {
+                code_distance: CODE_DISTANCE,
+                ..Default::default()
+            },
+        );
+        let findings = certify_planar_schedule(&schedule, &transcript, circuit, &dag, None);
+        findings
+            .into_iter()
+            .map(|f| format!("{}: {f}", bench.name()))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
 }
 
 /// The same contract on the planar backend: a rate-0 map must be

@@ -1,3 +1,6 @@
+//! Spot-check: schedules the fig6 policy sweep on a small workload
+//! and prints the schedule/critical-path ratios.
+
 use scq_braid::{schedule, BraidConfig, Policy};
 use scq_ir::{DependencyDag, InteractionGraph};
 use scq_layout::place;

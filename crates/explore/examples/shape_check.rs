@@ -1,3 +1,5 @@
+//! Spot-check: prints the favorability-boundary shape for one profile.
+
 use scq_apps::Benchmark;
 use scq_estimate::{AppProfile, EstimateConfig};
 use scq_explore::*;

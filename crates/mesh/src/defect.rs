@@ -61,6 +61,21 @@ pub enum CommError {
         /// Factory sites lost to defects.
         dead: usize,
     },
+    /// A defect map built for one mesh shape was applied to a machine
+    /// of a different shape.
+    DefectMapMismatch {
+        /// Dimensions the map was built for.
+        map: (u32, u32),
+        /// Dimensions of the machine it was applied to.
+        expected: (u32, u32),
+    },
+    /// A requested mesh geometry with a zero dimension.
+    DegenerateGeometry {
+        /// Requested width in routers.
+        width: u32,
+        /// Requested height in routers.
+        height: u32,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -75,6 +90,14 @@ impl fmt::Display for CommError {
             ),
             CommError::NoLiveFactories { dead } => {
                 write!(f, "all {dead} factory sites fell on dead tiles")
+            }
+            CommError::DefectMapMismatch { map, expected } => write!(
+                f,
+                "defect map is {}x{} but the machine is {}x{}",
+                map.0, map.1, expected.0, expected.1
+            ),
+            CommError::DegenerateGeometry { width, height } => {
+                write!(f, "mesh dimensions must be positive, got {width}x{height}")
             }
         }
     }

@@ -37,7 +37,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::coord::Path;
+use crate::coord::{Coord, Path};
 use crate::defect::DefectMap;
 use crate::heatmap::LinkHeatmap;
 use crate::topology::Topology;
@@ -80,6 +80,28 @@ impl Default for FabricConfig {
             link_capacity: 4,
         }
     }
+}
+
+/// One link traversal attempt, recorded by a fabric with hop recording
+/// enabled ([`Fabric::record_hops`]) — the replayable transit
+/// transcript an independent certifier can audit for lane-capacity and
+/// timing invariants without re-running the simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopRecord {
+    /// The message that attempted the hop.
+    pub msg: MsgId,
+    /// Router the hop departed from.
+    pub from: Coord,
+    /// Router the hop attempted to reach.
+    pub to: Coord,
+    /// Cycle the message claimed a swap lane on the link.
+    pub enter: u64,
+    /// Cycle the lane was released (`enter + hop_cycles`).
+    pub exit: u64,
+    /// Whether the hop failed on a flaky link. A failed hop still
+    /// occupied its lane for the full duration; the message retries the
+    /// same link after backoff.
+    pub failed: bool,
 }
 
 /// Where a message is in its journey.
@@ -165,6 +187,9 @@ pub struct Fabric {
     link_faults: Vec<u64>,
     /// Present only on fault-injected fabrics.
     fault_state: Option<FaultState>,
+    /// Hop transcript, recorded only when [`Fabric::record_hops`] was
+    /// called (`None` keeps the hot path allocation-free).
+    hop_log: Option<Vec<HopRecord>>,
     /// FIFO wait queue per link.
     waiters: Vec<VecDeque<MsgId>>,
     msgs: Vec<InFlightMessage>,
@@ -193,6 +218,7 @@ impl Fabric {
             link_stalls: vec![0; topo.num_links()],
             link_faults: vec![0; topo.num_links()],
             fault_state: None,
+            hop_log: None,
             waiters: vec![VecDeque::new(); topo.num_links()],
             msgs: Vec::new(),
             events: BinaryHeap::new(),
@@ -299,6 +325,22 @@ impl Fabric {
             self.link_stalls.clone(),
             self.link_faults.clone(),
         )
+    }
+
+    /// Enables hop recording: every subsequent link traversal attempt
+    /// (successful or failed) is appended to the transcript returned by
+    /// [`Fabric::hop_records`]. Off by default so the hot path pays
+    /// nothing; call before the run whose transit you want to audit.
+    pub fn record_hops(&mut self) {
+        if self.hop_log.is_none() {
+            self.hop_log = Some(Vec::new());
+        }
+    }
+
+    /// The recorded link traversal attempts in completion order — empty
+    /// unless [`Fabric::record_hops`] was called before the run.
+    pub fn hop_records(&self) -> &[HopRecord] {
+        self.hop_log.as_deref().unwrap_or(&[])
     }
 
     /// Injects a message that starts traversing `route` at cycle
@@ -439,6 +481,17 @@ impl Fabric {
                     }
                     None => false,
                 };
+                if let Some(log) = &mut self.hop_log {
+                    let m = &self.msgs[id as usize];
+                    log.push(HopRecord {
+                        msg: id,
+                        from: m.route.nodes()[m.cursor],
+                        to: m.route.nodes()[m.cursor + 1],
+                        enter: t - self.config.hop_cycles,
+                        exit: t,
+                        failed,
+                    });
+                }
                 if failed {
                     let f = self.fault_state.as_mut().expect("fault state present");
                     f.retries[id as usize] += 1;

@@ -83,7 +83,7 @@ mod topology;
 
 pub use coord::{Coord, Path};
 pub use defect::{CommError, DefectMap, DefectParseError, FLAKY_FAILURE_PROB};
-pub use fabric::{Fabric, FabricConfig, FabricStats, MsgId};
+pub use fabric::{Fabric, FabricConfig, FabricStats, HopRecord, MsgId};
 pub use heatmap::LinkHeatmap;
 pub use mesh::{ClaimId, Mesh, RouteScratch};
 pub use topology::Topology;

@@ -28,7 +28,9 @@
 //! capacity the gap between the two is precisely the contention the
 //! paper's planar numbers were missing.
 
-use scq_mesh::{CommError, Coord, DefectMap, Fabric, FabricConfig, LinkHeatmap, Path, Topology};
+use scq_mesh::{
+    CommError, Coord, DefectMap, Fabric, FabricConfig, HopRecord, LinkHeatmap, Path, Topology,
+};
 
 use crate::pipeline::{
     account_arrivals, check_epr_inputs, plan_launches, DistributionPolicy, EprConfig,
@@ -110,6 +112,37 @@ impl FabricEprResult {
     }
 }
 
+/// A complete replayable record of one route-aware EPR run: the located
+/// demand, the planned routes and launch cycles, the measured arrival
+/// cycles, and every link traversal attempt on the fabric.
+///
+/// Produced by the `_traced` entry points (off the default hot path);
+/// consumed by the independent certifier in `scq-verify`, which checks
+/// lane-capacity conservation, hop timing, route conformance, and
+/// defect avoidance from this transcript alone — sharing no claiming or
+/// routing code with the simulation that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EprTranscript {
+    /// The fabric geometry the run used.
+    pub topology: Topology,
+    /// Swap lanes per link during the run.
+    pub link_capacity: u32,
+    /// Cycles per hop during the run.
+    pub hop_cycles: u64,
+    /// The located demand trace, in injection order.
+    pub requests: Vec<EprRequest>,
+    /// The planned route of each request (aligned with
+    /// [`EprTranscript::requests`]).
+    pub routes: Vec<Path>,
+    /// The planned launch cycle of each request.
+    pub launches: Vec<u64>,
+    /// The measured arrival cycle of each request.
+    pub arrivals: Vec<u64>,
+    /// Every link traversal attempt, in completion order (message ids
+    /// index [`EprTranscript::requests`]).
+    pub hops: Vec<HopRecord>,
+}
+
 /// Simulates route-aware EPR distribution for a located demand trace on
 /// a `topology`-shaped machine. See the module docs at the top of this file for the
 /// three-phase model.
@@ -139,6 +172,99 @@ pub fn simulate_epr_on_fabric(
     run_epr_phases(requests, routes, policy, config, fabric)
 }
 
+/// Like [`simulate_epr_on_fabric`], additionally returning the full
+/// [`EprTranscript`] of the run for independent certification. The
+/// result is bit-identical to the untraced entry point; recording only
+/// adds the transcript bookkeeping, so the default path stays hot.
+///
+/// # Panics
+///
+/// As [`simulate_epr_on_fabric`].
+pub fn simulate_epr_on_fabric_traced(
+    requests: &[EprRequest],
+    policy: DistributionPolicy,
+    config: &FabricEprConfig,
+    topology: Topology,
+) -> (FabricEprResult, EprTranscript) {
+    let routes: Vec<Path> = requests
+        .iter()
+        .map(|r| topology.route_xy(r.src, r.dst))
+        .collect();
+    let fabric = Fabric::new(
+        topology,
+        FabricConfig {
+            hop_cycles: config.epr.hop_cycles,
+            link_capacity: config.link_capacity,
+        },
+    );
+    let (result, transcript) = run_epr_phases_inner(requests, routes, policy, config, fabric, true);
+    (result, transcript.expect("transcript was requested"))
+}
+
+/// Like [`simulate_epr_on_fabric_with_defects`], additionally returning
+/// the full [`EprTranscript`] of the run for independent certification.
+///
+/// # Errors
+///
+/// As [`simulate_epr_on_fabric_with_defects`], plus
+/// [`CommError::DefectMapMismatch`] when the map's topology differs
+/// from `topology`.
+pub fn simulate_epr_on_fabric_traced_with_defects(
+    requests: &[EprRequest],
+    policy: DistributionPolicy,
+    config: &FabricEprConfig,
+    topology: Topology,
+    defects: &DefectMap,
+    fault_seed: u64,
+) -> Result<(FabricEprResult, EprTranscript), CommError> {
+    if defects.is_empty() {
+        return Ok(simulate_epr_on_fabric_traced(
+            requests, policy, config, topology,
+        ));
+    }
+    let routes = plan_defect_routes(requests, topology, defects)?;
+    let fabric = Fabric::with_defects(
+        topology,
+        FabricConfig {
+            hop_cycles: config.epr.hop_cycles,
+            link_capacity: config.link_capacity,
+        },
+        defects,
+        fault_seed,
+    );
+    let (result, transcript) = run_epr_phases_inner(requests, routes, policy, config, fabric, true);
+    Ok((result, transcript.expect("transcript was requested")))
+}
+
+/// Defect-avoiding route planning shared by the traced and untraced
+/// defect-aware entry points: checks the map's shape, then detours each
+/// request around dead resources.
+fn plan_defect_routes(
+    requests: &[EprRequest],
+    topology: Topology,
+    defects: &DefectMap,
+) -> Result<Vec<Path>, CommError> {
+    if defects.topology() != topology {
+        return Err(CommError::DefectMapMismatch {
+            map: (defects.topology().width(), defects.topology().height()),
+            expected: (topology.width(), topology.height()),
+        });
+    }
+    let mut routes = Vec::with_capacity(requests.len());
+    for r in requests {
+        match defects.route_avoiding(r.src, r.dst) {
+            Some(p) => routes.push(p),
+            None => {
+                return Err(CommError::Unroutable {
+                    src: r.src,
+                    dst: r.dst,
+                })
+            }
+        }
+    }
+    Ok(routes)
+}
+
 /// Like [`simulate_epr_on_fabric`], but on a defect-laden machine:
 /// routes detour around the map's dead tiles and links (falling back to
 /// BFS when the dimension-ordered L-route is blocked), and flaky links
@@ -152,12 +278,13 @@ pub fn simulate_epr_on_fabric(
 /// # Errors
 ///
 /// Returns [`CommError::Unroutable`] (naming the cut endpoints) when a
-/// request has no defect-free route.
+/// request has no defect-free route, or
+/// [`CommError::DefectMapMismatch`] when the map's topology differs
+/// from `topology`.
 ///
 /// # Panics
 ///
-/// As [`simulate_epr_on_fabric`], plus if the map's topology differs
-/// from `topology`.
+/// As [`simulate_epr_on_fabric`].
 pub fn simulate_epr_on_fabric_with_defects(
     requests: &[EprRequest],
     policy: DistributionPolicy,
@@ -169,22 +296,7 @@ pub fn simulate_epr_on_fabric_with_defects(
     if defects.is_empty() {
         return Ok(simulate_epr_on_fabric(requests, policy, config, topology));
     }
-    assert!(
-        defects.topology() == topology,
-        "defect map does not match the fabric topology"
-    );
-    let mut routes = Vec::with_capacity(requests.len());
-    for r in requests {
-        match defects.route_avoiding(r.src, r.dst) {
-            Some(p) => routes.push(p),
-            None => {
-                return Err(CommError::Unroutable {
-                    src: r.src,
-                    dst: r.dst,
-                })
-            }
-        }
-    }
+    let routes = plan_defect_routes(requests, topology, defects)?;
     let fabric = Fabric::with_defects(
         topology,
         FabricConfig {
@@ -205,10 +317,28 @@ fn run_epr_phases(
     routes: Vec<Path>,
     policy: DistributionPolicy,
     config: &FabricEprConfig,
-    mut fabric: Fabric,
+    fabric: Fabric,
 ) -> FabricEprResult {
+    run_epr_phases_inner(requests, routes, policy, config, fabric, false).0
+}
+
+/// [`run_epr_phases`] with optional transcript recording: `record`
+/// keeps the planned routes/launches, measured arrivals, and the
+/// fabric's hop log alongside the result.
+fn run_epr_phases_inner(
+    requests: &[EprRequest],
+    routes: Vec<Path>,
+    policy: DistributionPolicy,
+    config: &FabricEprConfig,
+    mut fabric: Fabric,
+    record: bool,
+) -> (FabricEprResult, Option<EprTranscript>) {
     let times: Vec<u64> = requests.iter().map(|r| r.time).collect();
     check_epr_inputs(&times, policy, config.epr.bandwidth);
+    if record {
+        fabric.record_hops();
+    }
+    let kept_routes = record.then(|| routes.clone());
 
     // Phase 1: plan launches at the flow level (uncontended estimates).
     let total_route_hops: u64 = routes.iter().map(|r| r.len_hops() as u64).sum();
@@ -248,7 +378,17 @@ fn run_epr_phases(
     let pipeline = account_arrivals(&times, &measured, config.epr.teleport_cycles);
 
     let stats = fabric.stats();
-    FabricEprResult {
+    let transcript = kept_routes.map(|routes| EprTranscript {
+        topology: fabric.topology(),
+        link_capacity: config.link_capacity,
+        hop_cycles: config.epr.hop_cycles,
+        requests: requests.to_vec(),
+        routes,
+        launches: plan.iter().map(|&(launch, _)| launch).collect(),
+        arrivals: measured.iter().map(|&(_, arrival)| arrival).collect(),
+        hops: fabric.hop_records().to_vec(),
+    });
+    let result = FabricEprResult {
         pipeline,
         link_stall_cycles: stats.link_stall_cycles,
         peak_in_flight: stats.peak_in_flight,
@@ -256,7 +396,8 @@ fn run_epr_phases(
         total_route_hops,
         transient_faults: stats.transient_faults,
         heatmap: fabric.heatmap(),
-    }
+    };
+    (result, transcript)
 }
 
 /// Sweeps lookahead windows on the fabric, returning `(window, result)`

@@ -55,8 +55,9 @@ mod planar;
 mod simd;
 
 pub use fabric_pipeline::{
-    simulate_epr_on_fabric, simulate_epr_on_fabric_with_defects, window_sweep_fabric, EprRequest,
-    FabricEprConfig, FabricEprResult,
+    simulate_epr_on_fabric, simulate_epr_on_fabric_traced,
+    simulate_epr_on_fabric_traced_with_defects, simulate_epr_on_fabric_with_defects,
+    window_sweep_fabric, EprRequest, EprTranscript, FabricEprConfig, FabricEprResult,
 };
 pub use pipeline::{
     simulate_epr_distribution, window_sweep, DistributionPolicy, EprConfig, EprDemand,
@@ -64,7 +65,8 @@ pub use pipeline::{
 };
 pub use placement::{BaselinePlacement, CongestionAwarePlacement, PlacementStrategy};
 pub use planar::{
-    hop_cycles_for_distance, schedule_planar, schedule_planar_on_defects, schedule_planar_with,
-    PlanarConfig, PlanarMachine, PlanarSchedule,
+    hop_cycles_for_distance, schedule_planar, schedule_planar_on_defects, schedule_planar_traced,
+    schedule_planar_traced_on_defects, schedule_planar_with, PlanarConfig, PlanarMachine,
+    PlanarSchedule,
 };
 pub use simd::{schedule_simd, SimdConfig, SimdSchedule};

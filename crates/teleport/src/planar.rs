@@ -17,8 +17,9 @@ use scq_mesh::{CommError, Coord, DefectMap, Topology};
 use scq_surface::{edge_factory_sites, FactoryConfig};
 
 use crate::fabric_pipeline::{
-    simulate_epr_on_fabric, simulate_epr_on_fabric_with_defects, EprRequest, FabricEprConfig,
-    FabricEprResult,
+    simulate_epr_on_fabric, simulate_epr_on_fabric_traced,
+    simulate_epr_on_fabric_traced_with_defects, simulate_epr_on_fabric_with_defects, EprRequest,
+    EprTranscript, FabricEprConfig, FabricEprResult,
 };
 use crate::pipeline::{DistributionPolicy, EprConfig, EprPipelineResult};
 use crate::placement::{BaselinePlacement, PlacementStrategy};
@@ -159,12 +160,8 @@ impl PlanarMachine {
     ///
     /// [`CommError::Unplaceable`] if fewer live data cells than qubits
     /// remain; [`CommError::NoLiveFactories`] if every factory site
-    /// died.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the map's dimensions differ from
-    /// [`PlanarMachine::grid_dims`].
+    /// died; [`CommError::DefectMapMismatch`] if the map's dimensions
+    /// differ from [`PlanarMachine::grid_dims`].
     pub fn with_defects(
         num_qubits: u32,
         epr_factories: Option<u32>,
@@ -175,12 +172,12 @@ impl PlanarMachine {
         }
         let (grid_w, grid_h) = Self::grid_dims(num_qubits);
         let topology = Topology::new(grid_w, grid_h);
-        assert!(
-            defects.topology() == topology,
-            "defect map is {}x{} but the machine grid is {grid_w}x{grid_h}",
-            defects.topology().width(),
-            defects.topology().height()
-        );
+        if defects.topology() != topology {
+            return Err(CommError::DefectMapMismatch {
+                map: (defects.topology().width(), defects.topology().height()),
+                expected: (grid_w, grid_h),
+            });
+        }
         let live: Vec<Coord> = (1..grid_h - 1)
             .flat_map(|y| (0..grid_w).map(move |x| Coord::new(x, y)))
             .filter(|&c| !defects.node_dead(c))
@@ -368,6 +365,73 @@ pub fn schedule_planar_with(
     let simd = schedule_simd(circuit, dag, &config.simd);
     let machine = placement.place(circuit.num_qubits(), config, &simd);
     let requests = machine.requests_for(&simd);
+    let result = simulate_epr_on_fabric(
+        &requests,
+        config.policy,
+        &config.fabric_config(),
+        machine.topology,
+    );
+    assemble(machine, simd, result)
+}
+
+/// Like [`schedule_planar`], additionally returning the full
+/// [`EprTranscript`] of the EPR phase for independent certification.
+/// The schedule is bit-identical to [`schedule_planar`]'s.
+///
+/// # Panics
+///
+/// As [`schedule_planar`].
+pub fn schedule_planar_traced(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    config: &PlanarConfig,
+) -> (PlanarSchedule, EprTranscript) {
+    let simd = schedule_simd(circuit, dag, &config.simd);
+    let machine = BaselinePlacement.place(circuit.num_qubits(), config, &simd);
+    let requests = machine.requests_for(&simd);
+    let (result, transcript) = simulate_epr_on_fabric_traced(
+        &requests,
+        config.policy,
+        &config.fabric_config(),
+        machine.topology,
+    );
+    (assemble(machine, simd, result), transcript)
+}
+
+/// Like [`schedule_planar_on_defects`], additionally returning the full
+/// [`EprTranscript`] of the EPR phase for independent certification.
+///
+/// # Errors
+///
+/// As [`schedule_planar_on_defects`].
+pub fn schedule_planar_traced_on_defects(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    config: &PlanarConfig,
+    defects: &DefectMap,
+    fault_seed: u64,
+) -> Result<(PlanarSchedule, EprTranscript), CommError> {
+    if defects.is_empty() {
+        return Ok(schedule_planar_traced(circuit, dag, config));
+    }
+    let simd = schedule_simd(circuit, dag, &config.simd);
+    let machine = PlanarMachine::with_defects(circuit.num_qubits(), config.epr_factories, defects)?;
+    let requests = machine.requests_for_avoiding(&simd, defects)?;
+    let (result, transcript) = simulate_epr_on_fabric_traced_with_defects(
+        &requests,
+        config.policy,
+        &config.fabric_config(),
+        machine.topology,
+        defects,
+        fault_seed,
+    )?;
+    Ok((assemble(machine, simd, result), transcript))
+}
+
+/// Folds a fabric EPR outcome into the planar schedule: the run's
+/// cycle count is the EPR-aware makespan, never less than the SIMD
+/// timestep count.
+fn assemble(machine: PlanarMachine, simd: SimdSchedule, result: FabricEprResult) -> PlanarSchedule {
     let FabricEprResult {
         pipeline: epr,
         link_stall_cycles,
@@ -375,12 +439,7 @@ pub fn schedule_planar_with(
         hottest_link_busy_cycles,
         transient_faults,
         ..
-    } = simulate_epr_on_fabric(
-        &requests,
-        config.policy,
-        &config.fabric_config(),
-        machine.topology,
-    );
+    } = result;
     let cycles = simd.timesteps.max(epr.makespan);
     PlanarSchedule {
         machine,
@@ -405,12 +464,12 @@ pub fn schedule_planar_with(
 /// # Errors
 ///
 /// A structured [`CommError`] when the defects make the machine
-/// unbuildable or the demand unroutable — never a panic or a hang.
+/// unbuildable, the map's dimensions mismatched, or the demand
+/// unroutable — never a panic or a hang.
 ///
 /// # Panics
 ///
-/// As [`schedule_planar`], plus if the map's dimensions differ from
-/// [`PlanarMachine::grid_dims`].
+/// As [`schedule_planar`].
 pub fn schedule_planar_on_defects(
     circuit: &Circuit,
     dag: &DependencyDag,
@@ -424,14 +483,7 @@ pub fn schedule_planar_on_defects(
     let simd = schedule_simd(circuit, dag, &config.simd);
     let machine = PlanarMachine::with_defects(circuit.num_qubits(), config.epr_factories, defects)?;
     let requests = machine.requests_for_avoiding(&simd, defects)?;
-    let FabricEprResult {
-        pipeline: epr,
-        link_stall_cycles,
-        peak_in_flight,
-        hottest_link_busy_cycles,
-        transient_faults,
-        ..
-    } = simulate_epr_on_fabric_with_defects(
+    let result = simulate_epr_on_fabric_with_defects(
         &requests,
         config.policy,
         &config.fabric_config(),
@@ -439,18 +491,7 @@ pub fn schedule_planar_on_defects(
         defects,
         fault_seed,
     )?;
-    let cycles = simd.timesteps.max(epr.makespan);
-    Ok(PlanarSchedule {
-        machine,
-        cycles,
-        timesteps: simd.timesteps,
-        simd,
-        epr,
-        link_stall_cycles,
-        peak_in_flight_eprs: peak_in_flight,
-        hottest_link_busy_cycles,
-        transient_faults,
-    })
+    Ok(assemble(machine, simd, result))
 }
 
 #[cfg(test)]

@@ -55,6 +55,10 @@ pub struct SimdSchedule {
     /// place the demand on the machine and route the EPR half to the
     /// consuming tile.
     pub teleport_qubits: Vec<u32>,
+    /// For each instruction (by circuit index), the 1-based timestep it
+    /// issued in — what lets an independent certifier check
+    /// dependency-order preservation without re-running the scheduler.
+    pub op_timesteps: Vec<u64>,
 }
 
 impl SimdSchedule {
@@ -98,6 +102,7 @@ pub fn schedule_simd(circuit: &Circuit, dag: &DependencyDag, config: &SimdConfig
     let mut magic_teleports = 0u64;
     let mut teleport_times = Vec::new();
     let mut teleport_qubits = Vec::new();
+    let mut op_timesteps = vec![0u64; n];
 
     // Location of each qubit: None = memory region, Some(r) = region r.
     let mut location: Vec<Option<u32>> = vec![None; circuit.num_qubits() as usize];
@@ -135,6 +140,7 @@ pub fn schedule_simd(circuit: &Circuit, dag: &DependencyDag, config: &SimdConfig
                     teleport_times.push(timestep);
                     teleport_qubits.push(circuit.instructions()[op].qubits()[0].raw());
                 }
+                op_timesteps[op] = timestep;
                 issued.push(op);
             }
             let _ = gate;
@@ -170,6 +176,7 @@ pub fn schedule_simd(circuit: &Circuit, dag: &DependencyDag, config: &SimdConfig
         magic_teleports,
         teleport_times,
         teleport_qubits,
+        op_timesteps,
     }
 }
 
@@ -291,6 +298,29 @@ mod tests {
         let s = schedule(&b.finish(), &SimdConfig::default());
         assert_eq!(s.teleport_qubits.len(), s.teleport_times.len());
         assert!(s.teleport_qubits.iter().all(|&q| q < 6));
+    }
+
+    #[test]
+    fn op_timesteps_cover_every_op_and_respect_dependencies() {
+        let mut b = Circuit::builder("deps", 4);
+        for i in 0..3u32 {
+            b.cnot(i, i + 1).t(i);
+        }
+        let c = b.finish();
+        let dag = DependencyDag::from_circuit(&c);
+        let s = schedule_simd(&c, &dag, &SimdConfig::default());
+        assert_eq!(s.op_timesteps.len(), c.len());
+        assert!(s.op_timesteps.iter().all(|&t| t >= 1 && t <= s.timesteps));
+        for op in 0..c.len() {
+            for &p in dag.preds(op) {
+                assert!(
+                    s.op_timesteps[p as usize] < s.op_timesteps[op],
+                    "pred {p} of op {op} issued at {} >= {}",
+                    s.op_timesteps[p as usize],
+                    s.op_timesteps[op]
+                );
+            }
+        }
     }
 
     #[test]

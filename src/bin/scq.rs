@@ -3,19 +3,26 @@
 //!
 //! ```text
 //! scq analyze  <file.qasm>                     logical stats + optimization report
+//! scq check    <file.qasm> [policy] [distance] static IR + admission check passes
 //! scq schedule <file.qasm> [policy] [distance] braid + planar schedules
 //! scq compare  <file.qasm> [p_physical]        encoding recommendation
 //! scq heatmap  <file.qasm> [distance]          braid congestion heatmap
 //! ```
 //!
-//! `schedule` and `heatmap` additionally accept the defect flags
-//! `--defect-rate R`, `--defect-seed S`, and `--defect-map FILE` to run
-//! the same circuit on non-ideal hardware. Sampled maps are drawn
-//! per backend at that backend's own mesh dimensions from the shared
-//! seed; a map file applies to whichever backend matches its declared
-//! dimensions (the other backend runs clean, with a note). Circuits
-//! that the defects make unroutable exit nonzero with a structured
-//! diagnostic — never a panic or a hang.
+//! `check`, `schedule`, and `heatmap` additionally accept the defect
+//! flags `--defect-rate R`, `--defect-seed S`, and `--defect-map FILE`
+//! to run the same circuit on non-ideal hardware. Sampled maps are
+//! drawn per backend at that backend's own mesh dimensions from the
+//! shared seed; a map file applies to whichever backend matches its
+//! declared dimensions (the other backend runs clean, with a note).
+//! Circuits that the defects make unroutable exit nonzero with a
+//! structured diagnostic — never a panic or a hang.
+//!
+//! `schedule --verify` additionally replays every emitted schedule
+//! through the independent `scq-verify` certifier and fails (nonzero
+//! exit) on any invariant violation.
+
+#![warn(clippy::disallowed_methods)]
 
 use std::process::ExitCode;
 
@@ -29,25 +36,36 @@ use scq::ir::{
 use scq::layout::place;
 use scq::mesh::{DefectMap, Topology};
 use scq::surface::Technology;
-use scq::teleport::{schedule_planar, schedule_planar_on_defects, PlanarConfig, PlanarMachine};
+use scq::teleport::{
+    schedule_planar, schedule_planar_on_defects, schedule_planar_traced,
+    schedule_planar_traced_on_defects, PlanarConfig, PlanarMachine,
+};
+use scq::verify::{
+    certify_braid_trace, certify_planar_schedule, CheckContext, FabricView, Finding, PassRunner,
+    Severity,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("analyze") => with_circuit(&args, 1, cmd_analyze),
+        Some("check") => with_circuit(&args, 1, cmd_check),
         Some("schedule") => with_circuit(&args, 1, cmd_schedule),
         Some("compare") => with_circuit(&args, 1, cmd_compare),
         Some("heatmap") => with_circuit(&args, 1, cmd_heatmap),
         _ => {
-            eprintln!("usage: scq <analyze|schedule|compare|heatmap> <file.qasm> [options]");
+            eprintln!("usage: scq <analyze|check|schedule|compare|heatmap> <file.qasm> [options]");
             eprintln!("  analyze  <file.qasm>                  logical stats + optimizer report");
+            eprintln!("  check    <file.qasm> [policy] [dist]  static IR + admission checks");
             eprintln!("  schedule <file.qasm> [policy] [dist]  braid + planar schedules");
             eprintln!("  compare  <file.qasm> [p_physical]     encoding recommendation");
             eprintln!("  heatmap  <file.qasm> [dist]           braid congestion heatmap");
-            eprintln!("defect flags (schedule, heatmap):");
+            eprintln!("defect flags (check, schedule, heatmap):");
             eprintln!("  --defect-rate R    sample dead tiles/links at rate R in [0, 1)");
             eprintln!("  --defect-seed S    PRNG seed for sampling and transient faults");
             eprintln!("  --defect-map FILE  explicit defect map (dims must match a backend)");
+            eprintln!("verification:");
+            eprintln!("  schedule --verify  certify emitted schedules with scq-verify");
             return ExitCode::from(2);
         }
     };
@@ -229,8 +247,67 @@ fn describe_map(map: &DefectMap, backend: &str) {
     );
 }
 
-fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
+/// Prints findings and converts any error-severity one into a CLI
+/// failure naming the violated invariant.
+fn report_findings(findings: &[Finding], what: &str) -> Result<(), CliError> {
+    for f in findings {
+        println!("  {f}");
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    if errors > 0 {
+        return Err(CliError::invalid(format!(
+            "{what} failed certification with {errors} finding(s)"
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_check(circuit: &Circuit, rest: &[String]) -> CliResult {
     let (pos, defects) = parse_defect_opts(rest)?;
+    let policy = parse_policy(&pos)?;
+    let _code_distance = parse_distance(&pos, 1)?;
+    let dag = DependencyDag::from_circuit(circuit);
+    let graph = InteractionGraph::from_circuit(circuit);
+    let layout = place(&graph, policy.layout_strategy(), None);
+    let braid_map = defects.map_for(braid_mesh_dims(&layout, circuit), "braid")?;
+    if let Some(map) = &braid_map {
+        describe_map(map, "braid");
+    }
+    let machine = PlanarMachine::new(circuit.num_qubits(), None);
+    let planar_map = defects.map_for(PlanarMachine::grid_dims(circuit.num_qubits()), "planar")?;
+    if let Some(map) = &planar_map {
+        describe_map(map, "planar");
+    }
+    let cx = CheckContext {
+        circuit,
+        dag: &dag,
+        fabrics: vec![
+            FabricView::braid(&layout, circuit, None, braid_map.as_ref()),
+            FabricView::planar(&machine, circuit, planar_map.as_ref()),
+        ],
+    };
+    let report = PassRunner::standard().run(&cx);
+    for t in &report.timings {
+        println!("pass {:<18} {:>9.1?}", t.pass, t.duration);
+    }
+    report_findings(&report.findings, circuit.name())?;
+    println!(
+        "check: {} passed ({} warning(s))",
+        circuit.name(),
+        report.warning_count()
+    );
+    Ok(())
+}
+
+fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
+    let mut rest = rest.to_vec();
+    let before = rest.len();
+    rest.retain(|a| a != "--verify");
+    let verify = rest.len() != before;
+    let (pos, defects) = parse_defect_opts(&rest)?;
     let policy = parse_policy(&pos)?;
     let code_distance = parse_distance(&pos, 1)?;
     let dag = DependencyDag::from_circuit(circuit);
@@ -241,10 +318,11 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
         code_distance,
         ..Default::default()
     };
-    let (braid, trace) = match defects.map_for(braid_mesh_dims(&layout, circuit), "braid")? {
+    let braid_map = defects.map_for(braid_mesh_dims(&layout, circuit), "braid")?;
+    let (braid, trace) = match &braid_map {
         Some(map) => {
-            describe_map(&map, "braid");
-            schedule_traced_on_defects(circuit, &dag, &layout, &config, &map)?
+            describe_map(map, "braid");
+            schedule_traced_on_defects(circuit, &dag, &layout, &config, map)?
         }
         None => schedule_traced(circuit, &dag, &layout, &config)?,
     };
@@ -254,16 +332,37 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
         "  static replay: conflict-free ({} braid legs)",
         trace.events.len()
     );
+    if verify {
+        let findings = certify_braid_trace(&trace, circuit, &dag, braid_map.as_ref());
+        report_findings(&findings, "braid schedule")?;
+        println!("  certified: {} braid invariants hold", trace.events.len());
+    }
     let planar_config = PlanarConfig {
         code_distance,
         ..Default::default()
     };
-    let planar = match defects.map_for(PlanarMachine::grid_dims(circuit.num_qubits()), "planar")? {
-        Some(map) => {
-            describe_map(&map, "planar");
-            schedule_planar_on_defects(circuit, &dag, &planar_config, &map, defects.seed)?
+    let planar_map = defects.map_for(PlanarMachine::grid_dims(circuit.num_qubits()), "planar")?;
+    if let Some(map) = &planar_map {
+        describe_map(map, "planar");
+    }
+    let planar = if verify {
+        let (planar, transcript) = match &planar_map {
+            Some(map) => {
+                schedule_planar_traced_on_defects(circuit, &dag, &planar_config, map, defects.seed)?
+            }
+            None => schedule_planar_traced(circuit, &dag, &planar_config),
+        };
+        let findings =
+            certify_planar_schedule(&planar, &transcript, circuit, &dag, planar_map.as_ref());
+        report_findings(&findings, "planar schedule")?;
+        planar
+    } else {
+        match &planar_map {
+            Some(map) => {
+                schedule_planar_on_defects(circuit, &dag, &planar_config, map, defects.seed)?
+            }
+            None => schedule_planar(circuit, &dag, &planar_config),
         }
-        None => schedule_planar(circuit, &dag, &planar_config),
     };
     println!(
         "planar (Multi-SIMD): {} cycles, {} teleports, peak {} live EPR pairs",
@@ -271,6 +370,12 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
         planar.simd.total_teleports(),
         planar.epr.peak_live_eprs
     );
+    if verify {
+        println!(
+            "  certified: {} EPR flights replayed clean",
+            planar.epr.teleports
+        );
+    }
     if planar.transient_faults > 0 {
         println!(
             "  transient faults: {} hop retries absorbed by the EPR pipeline",

@@ -48,6 +48,7 @@ pub use scq_mesh as mesh;
 pub use scq_partition as partition;
 pub use scq_surface as surface;
 pub use scq_teleport as teleport;
+pub use scq_verify as verify;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
