@@ -2,10 +2,10 @@
 //! fails (non-zero exit) on committed-floor violations.
 //!
 //! ```text
-//! bench_guard [BENCH_sched.json] [floor] [BENCH_epr.json]
+//! bench_guard [BENCH_sched.json] [floor] [BENCH_epr.json] [BENCH_serve.json]
 //! ```
 //!
-//! Two checks:
+//! Four checks:
 //!
 //! 1. **Scheduler speedup floor** (`BENCH_sched.json`): the
 //!    event-driven braid engine's geomean speedup over the naive
@@ -26,8 +26,15 @@
 //!    at all. Schedules are cycle-deterministic, so a violation is a
 //!    routing/scheduling regression, never timing noise. Skipped with a
 //!    note when the file predates the section.
+//! 4. **Serving layer** (`BENCH_serve.json`): the duplicate-laden
+//!    stream's cache hit rate must stay >= 0.5, at least one app must
+//!    show a warm/cold latency ratio >= 10x, and the work-stealing
+//!    dispatcher must not run slower than the retained cursor baseline
+//!    beyond a 5% noise allowance (ratio <= 1.05). Skipped with a note
+//!    when the file is absent.
 //!
-//! CI runs this right after `perf_report` regenerates both files.
+//! CI runs this right after `perf_report` and `serve_throughput`
+//! regenerate the files.
 
 #![warn(clippy::disallowed_methods)]
 
@@ -123,6 +130,49 @@ fn check_degradation(json: &str) -> Result<Option<usize>, String> {
     Ok(Some(multipliers.len()))
 }
 
+/// Serving-layer floors, mirrored from `serve_throughput`'s own
+/// in-binary asserts so a stale or hand-edited report cannot sneak a
+/// regression past CI.
+const SERVE_HIT_RATE_FLOOR: f64 = 0.5;
+const SERVE_WARM_SPEEDUP_FLOOR: f64 = 10.0;
+const SERVE_DISPATCH_RATIO_CEILING: f64 = 1.05;
+
+/// Checks a serve report: cache hit rate, warm/cold ratio, and the
+/// dispatch A/B ratio. Returns a human-readable ok-summary, or an error
+/// string on violation or malformed input.
+fn check_serve(json: &str) -> Result<String, String> {
+    let Some(hit_rate) = parse_field(json, "hit_rate") else {
+        return Err("no hit_rate field".into());
+    };
+    if hit_rate < SERVE_HIT_RATE_FLOOR {
+        return Err(format!(
+            "cache hit rate {hit_rate:.3} fell below the floor {SERVE_HIT_RATE_FLOOR} \
+             on the duplicate-laden stream"
+        ));
+    }
+    let Some(warm) = parse_field(json, "max_warm_speedup") else {
+        return Err("no max_warm_speedup field".into());
+    };
+    if warm < SERVE_WARM_SPEEDUP_FLOOR {
+        return Err(format!(
+            "best warm/cold ratio {warm:.1}x fell below the floor {SERVE_WARM_SPEEDUP_FLOOR}x"
+        ));
+    }
+    let Some(ratio) = parse_field(json, "dispatch_ratio") else {
+        return Err("no dispatch_ratio field".into());
+    };
+    if ratio > SERVE_DISPATCH_RATIO_CEILING {
+        return Err(format!(
+            "work-stealing dispatch ratio {ratio:.3} exceeds the ceiling \
+             {SERVE_DISPATCH_RATIO_CEILING} (slower than the cursor baseline)"
+        ));
+    }
+    Ok(format!(
+        "hit rate {hit_rate:.2} >= {SERVE_HIT_RATE_FLOOR}, warm/cold {warm:.0}x >= \
+         {SERVE_WARM_SPEEDUP_FLOOR:.0}x, dispatch ratio {ratio:.3} <= {SERVE_DISPATCH_RATIO_CEILING}"
+    ))
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let path = args.next().unwrap_or_else(|| "BENCH_sched.json".into());
@@ -137,6 +187,7 @@ fn main() -> ExitCode {
         None => DEFAULT_FLOOR,
     };
     let epr_path = args.next().unwrap_or_else(|| "BENCH_epr.json".into());
+    let serve_path = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -190,12 +241,25 @@ fn main() -> ExitCode {
             println!("bench_guard: note — skipping placement check ({epr_path}: {e})");
         }
     }
+
+    match std::fs::read_to_string(&serve_path) {
+        Ok(serve_text) => match check_serve(&serve_text) {
+            Ok(summary) => println!("bench_guard: ok — serving layer: {summary}"),
+            Err(e) => {
+                eprintln!("bench_guard: FAIL — serving layer in {serve_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            println!("bench_guard: note — skipping serving-layer check ({serve_path}: {e})");
+        }
+    }
     ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{check_degradation, check_placement, parse_field, parse_fields};
+    use super::{check_degradation, check_placement, check_serve, parse_field, parse_fields};
 
     #[test]
     fn parses_floats_ints_and_scientific() {
@@ -302,6 +366,62 @@ mod tests {
     #[test]
     fn degradation_check_skips_reports_without_the_section() {
         assert_eq!(check_degradation("{\"placement\": []}"), Ok(None));
+    }
+
+    fn serve_json(hit_rate: f64, warm: f64, ratio: f64) -> String {
+        format!(
+            "{{\"requests\": 24, \"hit_rate\": {hit_rate}, \"warm_cold\": \
+             [{{\"app\": \"GSE\", \"warm_speedup\": 3.0}}], \
+             \"max_warm_speedup\": {warm}, \"dispatch_ratio\": {ratio}}}"
+        )
+    }
+
+    #[test]
+    fn serve_check_accepts_a_healthy_report() {
+        assert!(check_serve(&serve_json(0.667, 120.0, 0.98)).is_ok());
+        // Exactly on the committed bounds is still healthy.
+        assert!(check_serve(&serve_json(0.5, 10.0, 1.05)).is_ok());
+    }
+
+    #[test]
+    fn serve_check_rejects_a_low_hit_rate() {
+        assert!(check_serve(&serve_json(0.3, 120.0, 0.98))
+            .unwrap_err()
+            .contains("hit rate"));
+    }
+
+    #[test]
+    fn serve_check_rejects_a_weak_warm_speedup() {
+        assert!(check_serve(&serve_json(0.667, 4.0, 0.98))
+            .unwrap_err()
+            .contains("warm/cold"));
+    }
+
+    #[test]
+    fn serve_check_rejects_a_slow_stealing_dispatcher() {
+        assert!(check_serve(&serve_json(0.667, 120.0, 1.2))
+            .unwrap_err()
+            .contains("dispatch ratio"));
+    }
+
+    #[test]
+    fn serve_check_ignores_per_row_warm_speedups() {
+        // The per-app rows carry a "warm_speedup" field; only the
+        // "max_warm_speedup" aggregate may satisfy the floor.
+        let json = "{\"hit_rate\": 0.6, \"warm_cold\": [{\"warm_speedup\": 500.0}], \
+                    \"max_warm_speedup\": 2.0, \"dispatch_ratio\": 1.0}";
+        assert!(check_serve(json).unwrap_err().contains("warm/cold"));
+    }
+
+    #[test]
+    fn serve_check_rejects_malformed_reports() {
+        assert!(check_serve("{}").unwrap_err().contains("hit_rate"));
+        assert!(check_serve("{\"hit_rate\": 0.6}")
+            .unwrap_err()
+            .contains("max_warm_speedup"));
+        assert!(check_serve("{\"hit_rate\": 0.6, \"max_warm_speedup\": 50}")
+            .unwrap_err()
+            .contains("dispatch_ratio"));
     }
 
     #[test]

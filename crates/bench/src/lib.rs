@@ -195,15 +195,33 @@ pub fn run_policy_reference(
 ///
 /// This is the fan-out primitive for the (workload × policy) sweep
 /// grids: each point is an independent scheduling run, so the sweep's
-/// wall-clock collapses to roughly its longest single point. Worker
-/// count is the machine's available parallelism capped at the item
-/// count; items are claimed from a shared atomic cursor, so long points
-/// (e.g. SHA-1 under policy 0) do not convoy short ones.
+/// wall-clock collapses to roughly its longest single point. Dispatch
+/// runs on `scq-serve`'s work-stealing deque pool: each worker is
+/// seeded with a contiguous chunk of the grid (uncontended while the
+/// load stays balanced) and steals the back half of a victim's deque
+/// when its own runs dry, so long points (e.g. SHA-1 under policy 0)
+/// do not convoy short ones *and* balanced sweeps pay no shared-cursor
+/// traffic. The `dispatch/*` criterion microbenches A/B this against
+/// the retained [`parallel_map_cursor`] baseline, and `serve_throughput`
+/// guards the ratio in `BENCH_serve.json`.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the pool joins all workers first).
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    scq_serve::steal_map(items, f)
+}
+
+/// The atomic-cursor dispatcher [`parallel_map`] replaced, retained as
+/// the A/B baseline: workers claim one item at a time from a shared
+/// cursor. Perfectly balanced but pays one contended RMW per item and
+/// cannot batch; the work-stealing pool must never be measurably slower
+/// than this (`dispatch_ratio` in `BENCH_serve.json`).
 ///
 /// # Panics
 ///
 /// Propagates a panic from `f` (the scope joins all workers first).
-pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+pub fn parallel_map_cursor<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     if items.is_empty() {
         return Vec::new();
     }
@@ -315,5 +333,56 @@ mod tests {
             assert!(x != 5, "deliberate");
             x
         });
+    }
+
+    #[test]
+    fn cursor_and_steal_dispatch_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| x.wrapping_mul(2654435761).rotate_left(11);
+        assert_eq!(parallel_map(&items, f), parallel_map_cursor(&items, f));
+    }
+
+    #[test]
+    fn serve_cache_keys_are_distinct_over_the_fig6_grid() {
+        // Collision sanity for the content-addressed schedule cache:
+        // every (workload x policy x defect-spec) point of the fig6
+        // grid must key differently, and keys must be stable across
+        // independent normalizations.
+        use scq_serve::{DefectSpec, RequestSource, ScheduleRequest};
+        use std::collections::HashMap;
+        use std::sync::Arc;
+
+        let workloads = fig6_workloads();
+        let mut seen: HashMap<u64, String> = HashMap::new();
+        for (bench, circuit) in &workloads {
+            let circuit = Arc::new(circuit.clone());
+            for &policy in &Policy::ALL {
+                for defects in [
+                    DefectSpec::Clean,
+                    DefectSpec::Sampled {
+                        rate: 0.02,
+                        seed: 20702,
+                    },
+                ] {
+                    let req = ScheduleRequest {
+                        source: RequestSource::Circuit(Arc::clone(&circuit)),
+                        policy,
+                        defects,
+                        ..ScheduleRequest::for_circuit(Arc::clone(&circuit))
+                    };
+                    let point = format!("{} {policy:?} {:?}", bench.name(), req.defects);
+                    let key = req.normalize().expect("fig6 requests normalize").key;
+                    assert_eq!(
+                        req.normalize().expect("fig6 requests normalize").key,
+                        key,
+                        "unstable key for {point}"
+                    );
+                    if let Some(other) = seen.insert(key, point.clone()) {
+                        panic!("key collision between `{other}` and `{point}`");
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), workloads.len() * Policy::ALL.len() * 2);
     }
 }

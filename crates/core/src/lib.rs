@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod cachekey;
 
 pub use backend::{
     default_backends, BraidBackend, CommBackend, CommDetail, CommReport, TeleportBackend,
 };
+pub use cachekey::{CacheKeyed, KeyHasher};
 
 use std::error::Error;
 use std::fmt;

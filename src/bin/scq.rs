@@ -7,7 +7,17 @@
 //! scq schedule <file.qasm> [policy] [distance] braid + planar schedules
 //! scq compare  <file.qasm> [p_physical]        encoding recommendation
 //! scq heatmap  <file.qasm> [distance]          braid congestion heatmap
+//! scq batch    <requests.txt>                  cached batch scheduling service
 //! ```
+//!
+//! `batch` drives the `scq-serve` layer: one request per line, served
+//! through the content-addressed schedule cache on the work-stealing
+//! pool, with per-request cache provenance (hit / miss / dedup) in the
+//! output. Request lines are whitespace-separated `key=value` tokens —
+//! `app=<gse|sq|sha1|im|im-semi>` or `qasm=<file>`, plus optional
+//! `scale=`, `backend=<braid|planar>`, `policy=`, `distance=`,
+//! `defect-rate=`/`defect-seed=` or `defect-map=`, and the bare
+//! `verify` flag. Blank lines and `#` comments are skipped.
 //!
 //! `check`, `schedule`, and `heatmap` additionally accept the defect
 //! flags `--defect-rate R`, `--defect-seed S`, and `--defect-map FILE`
@@ -35,6 +45,7 @@ use scq::ir::{
 };
 use scq::layout::place;
 use scq::mesh::{DefectMap, Topology};
+use scq::serve::{load_request_file, BatchRunner};
 use scq::surface::Technology;
 use scq::teleport::{
     schedule_planar, schedule_planar_on_defects, schedule_planar_traced,
@@ -53,13 +64,22 @@ fn main() -> ExitCode {
         Some("schedule") => with_circuit(&args, 1, cmd_schedule),
         Some("compare") => with_circuit(&args, 1, cmd_compare),
         Some("heatmap") => with_circuit(&args, 1, cmd_heatmap),
+        Some("batch") => cmd_batch(&args[1..]),
         _ => {
-            eprintln!("usage: scq <analyze|check|schedule|compare|heatmap> <file.qasm> [options]");
+            eprintln!(
+                "usage: scq <analyze|check|schedule|compare|heatmap|batch> <input> [options]"
+            );
             eprintln!("  analyze  <file.qasm>                  logical stats + optimizer report");
             eprintln!("  check    <file.qasm> [policy] [dist]  static IR + admission checks");
             eprintln!("  schedule <file.qasm> [policy] [dist]  braid + planar schedules");
             eprintln!("  compare  <file.qasm> [p_physical]     encoding recommendation");
             eprintln!("  heatmap  <file.qasm> [dist]           braid congestion heatmap");
+            eprintln!("  batch    <requests.txt>               cached batch scheduling service");
+            eprintln!("request-file lines (batch): key=value tokens, one request per line");
+            eprintln!("  app=<gse|sq|sha1|im|im-semi> | qasm=<file>   circuit source (required)");
+            eprintln!("  scale=<0..4> backend=<braid|planar> policy=<0..6> distance=<odd >= 3>");
+            eprintln!("  defect-rate=R defect-seed=S | defect-map=FILE, bare `verify` to certify");
+            eprintln!("  blank lines and # comments are skipped");
             eprintln!("defect flags (check, schedule, heatmap):");
             eprintln!("  --defect-rate R    sample dead tiles/links at rate R in [0, 1)");
             eprintln!("  --defect-seed S    PRNG seed for sampling and transient faults");
@@ -381,6 +401,60 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
             "  transient faults: {} hop retries absorbed by the EPR pipeline",
             planar.transient_faults
         );
+    }
+    Ok(())
+}
+
+/// `scq batch <requests.txt>`: serve every request in the file through
+/// the content-addressed schedule cache, printing one line per request
+/// with its cache provenance, then the cache totals.
+///
+/// Any malformed line aborts before scheduling starts (the loader
+/// reports `path:lineno: ...`); any request that fails to schedule is
+/// reported in place and turns the whole batch into a nonzero exit.
+fn cmd_batch(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::usage("missing <requests.txt> argument"))?;
+    let requests = load_request_file(path)?;
+    if requests.is_empty() {
+        return Err(CliError::invalid(format!(
+            "{path}: no requests (only blank lines and comments)"
+        ))
+        .into());
+    }
+    let runner = BatchRunner::new(256);
+    let responses = runner.run(&requests);
+    let mut failed = 0usize;
+    for r in &responses {
+        match &r.outcome {
+            Ok(outcome) => {
+                println!(
+                    "#{:<3} {:<24} [{}] {}",
+                    r.index, r.label, r.provenance, outcome.summary
+                )
+            }
+            Err(e) => {
+                failed += 1;
+                println!(
+                    "#{:<3} {:<24} [{}] failed: {e}",
+                    r.index, r.label, r.provenance
+                );
+            }
+        }
+    }
+    let stats = runner.cache_stats();
+    println!(
+        "served {} request(s): {} hits, {} misses, {} dedups, {} computes, hit rate {:.1}%",
+        responses.len(),
+        stats.hits,
+        stats.misses,
+        stats.inflight_dedups,
+        stats.computes,
+        stats.hit_rate() * 100.0
+    );
+    if failed > 0 {
+        return Err(CliError::invalid(format!("{failed} request(s) failed to schedule")).into());
     }
     Ok(())
 }

@@ -22,6 +22,8 @@
 //! | [`estimate`] | `scq-estimate` | Calibrated space-time estimation |
 //! | [`explore`] | `scq-explore` | Crossover sweeps (Figures 7-9) |
 //! | [`core`] | `scq-core` | The end-to-end toolflow |
+//! | [`verify`] | `scq-verify` | Independent schedule certifier |
+//! | [`serve`] | `scq-serve` | Batch scheduling service: cached, work-stealing |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use scq_ir as ir;
 pub use scq_layout as layout;
 pub use scq_mesh as mesh;
 pub use scq_partition as partition;
+pub use scq_serve as serve;
 pub use scq_surface as surface;
 pub use scq_teleport as teleport;
 pub use scq_verify as verify;
@@ -62,6 +65,7 @@ pub mod prelude {
     pub use scq_explore::{crossover_size, favorability_boundary, log_spaced, ratio_sweep};
     pub use scq_ir::{analysis, Circuit, DependencyDag, Gate, InteractionGraph, Qubit};
     pub use scq_layout::{place, Layout, LayoutStrategy};
+    pub use scq_serve::{BatchRunner, ScheduleRequest, ScheduleResponse};
     pub use scq_surface::{CodeDistanceModel, Encoding, Technology, TileGeometry};
     pub use scq_teleport::{schedule_planar, DistributionPolicy, PlanarConfig};
 }
