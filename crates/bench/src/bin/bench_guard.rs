@@ -2,10 +2,10 @@
 //! fails (non-zero exit) on committed-floor violations.
 //!
 //! ```text
-//! bench_guard [BENCH_sched.json] [floor] [BENCH_epr.json] [BENCH_serve.json]
+//! bench_guard [BENCH_sched.json] [floor] [BENCH_epr.json] [BENCH_serve.json] [BENCH_scale.json]
 //! ```
 //!
-//! Four checks:
+//! Five checks:
 //!
 //! 1. **Scheduler speedup floor** (`BENCH_sched.json`): the
 //!    event-driven braid engine's geomean speedup over the naive
@@ -32,9 +32,16 @@
 //!    dispatcher must not run slower than the retained cursor baseline
 //!    beyond a 5% noise allowance (ratio <= 1.05). Skipped with a note
 //!    when the file is absent.
+//! 5. **Scale tier** (`BENCH_scale.json`): at least four points must
+//!    sit at >= 10x fig6 scale, every point must sustain the committed
+//!    events/sec floor on the calendar-queue event core, and on every
+//!    million-event point the calendar/heap A/B ratio must stay
+//!    <= 1.0 — the calendar queue is never allowed to be slower than
+//!    the `BinaryHeap` twin exactly where it exists to win. Skipped
+//!    with a note when the file is absent.
 //!
-//! CI runs this right after `perf_report` and `serve_throughput`
-//! regenerate the files.
+//! CI runs this right after `perf_report`, `serve_throughput`, and
+//! `scale_report` regenerate the files.
 
 #![warn(clippy::disallowed_methods)]
 
@@ -173,6 +180,73 @@ fn check_serve(json: &str) -> Result<String, String> {
     ))
 }
 
+/// Scale-tier floors, mirrored from the ISSUE's acceptance bar: the
+/// committed grid keeps >= 4 points at >= 10x fig6 scale, the calendar
+/// core must sustain the events/sec floor everywhere (set far below
+/// measured throughput so only a real regression trips it), and on
+/// million-event points the calendar must never lose the A/B race.
+const SCALE_MIN_LARGE_POINTS: usize = 4;
+const SCALE_LARGE_POINT_FLOOR: f64 = 10.0;
+const SCALE_EVENTS_PER_SEC_FLOOR: f64 = 50_000.0;
+const SCALE_MILLION_EVENTS: f64 = 1_000_000.0;
+const SCALE_RATIO_CEILING: f64 = 1.0;
+
+/// Checks a scale report: point count at tier scale, the events/sec
+/// floor, and the calendar-vs-heap ratio ceiling on million-event
+/// points. Returns a human-readable ok-summary, or an error string on
+/// violation or malformed input.
+fn check_scale(json: &str) -> Result<String, String> {
+    let events = parse_fields(json, "events");
+    let rates = parse_fields(json, "events_per_sec");
+    let ratios = parse_fields(json, "ab_ratio");
+    let scales = parse_fields(json, "scale_vs_fig6");
+    if events.is_empty()
+        || events.len() != rates.len()
+        || events.len() != ratios.len()
+        || events.len() != scales.len()
+    {
+        return Err("malformed scale points".into());
+    }
+    let large = scales
+        .iter()
+        .filter(|&&s| s >= SCALE_LARGE_POINT_FLOOR)
+        .count();
+    if large < SCALE_MIN_LARGE_POINTS {
+        return Err(format!(
+            "only {large} points at >= {SCALE_LARGE_POINT_FLOOR:.0}x fig6 scale \
+             (need {SCALE_MIN_LARGE_POINTS})"
+        ));
+    }
+    let mut million = 0usize;
+    for i in 0..events.len() {
+        if rates[i] < SCALE_EVENTS_PER_SEC_FLOOR {
+            return Err(format!(
+                "point {i}: {:.0} events/sec fell below the floor {SCALE_EVENTS_PER_SEC_FLOOR:.0}",
+                rates[i]
+            ));
+        }
+        if events[i] >= SCALE_MILLION_EVENTS {
+            million += 1;
+            if ratios[i] > SCALE_RATIO_CEILING {
+                return Err(format!(
+                    "point {i}: calendar/heap ratio {:.3} exceeds {SCALE_RATIO_CEILING} on a \
+                     million-event point ({:.2}M events) — the calendar queue lost its race",
+                    ratios[i],
+                    events[i] / 1e6
+                ));
+            }
+        }
+    }
+    if million == 0 {
+        return Err("no point reached a million events".into());
+    }
+    Ok(format!(
+        "{} points ({large} at >= {SCALE_LARGE_POINT_FLOOR:.0}x, {million} at >= 1M events), \
+         events/sec >= {SCALE_EVENTS_PER_SEC_FLOOR:.0}, calendar never slower at scale",
+        events.len()
+    ))
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let path = args.next().unwrap_or_else(|| "BENCH_sched.json".into());
@@ -188,6 +262,7 @@ fn main() -> ExitCode {
     };
     let epr_path = args.next().unwrap_or_else(|| "BENCH_epr.json".into());
     let serve_path = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
+    let scale_path = args.next().unwrap_or_else(|| "BENCH_scale.json".into());
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -254,12 +329,27 @@ fn main() -> ExitCode {
             println!("bench_guard: note — skipping serving-layer check ({serve_path}: {e})");
         }
     }
+
+    match std::fs::read_to_string(&scale_path) {
+        Ok(scale_text) => match check_scale(&scale_text) {
+            Ok(summary) => println!("bench_guard: ok — scale tier: {summary}"),
+            Err(e) => {
+                eprintln!("bench_guard: FAIL — scale tier in {scale_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            println!("bench_guard: note — skipping scale-tier check ({scale_path}: {e})");
+        }
+    }
     ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{check_degradation, check_placement, check_serve, parse_field, parse_fields};
+    use super::{
+        check_degradation, check_placement, check_scale, check_serve, parse_field, parse_fields,
+    };
 
     #[test]
     fn parses_floats_ints_and_scientific() {
@@ -422,6 +512,92 @@ mod tests {
         assert!(check_serve("{\"hit_rate\": 0.6, \"max_warm_speedup\": 50}")
             .unwrap_err()
             .contains("dispatch_ratio"));
+    }
+
+    fn scale_json(points: &[(f64, f64, f64, f64)]) -> String {
+        // (scale_vs_fig6, events, ab_ratio, events_per_sec) per point.
+        let body: Vec<String> = points
+            .iter()
+            .map(|(s, ev, r, eps)| {
+                format!(
+                    "{{\"name\": \"x\", \"requests\": 10, \"scale_vs_fig6\": {s}, \
+                     \"events\": {ev}, \"peak_event_queue\": 5, \"makespan\": 100, \
+                     \"calendar_secs\": 0.1, \"heap_secs\": 0.1, \"ab_ratio\": {r}, \
+                     \"events_per_sec\": {eps}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"runs_per_point\": 3, \"points\": [{}]}}",
+            body.join(", ")
+        )
+    }
+
+    #[test]
+    fn scale_check_accepts_a_healthy_tier() {
+        let json = scale_json(&[
+            (16.0, 2.1e6, 0.85, 9.0e6),
+            (16.0, 2.1e6, 0.9, 8.0e6),
+            (12.5, 1.4e6, 1.0, 7.0e6), // exactly on the ratio ceiling
+            (12.5, 5.0e5, 1.3, 6.0e6), // sub-million point may lose the race
+            (32.0, 1.8e6, 0.7, 9.5e6),
+        ]);
+        assert!(check_scale(&json).is_ok());
+    }
+
+    #[test]
+    fn scale_check_rejects_a_slow_calendar_at_scale() {
+        let json = scale_json(&[
+            (16.0, 2.1e6, 1.02, 9.0e6),
+            (16.0, 2.1e6, 0.9, 8.0e6),
+            (12.5, 1.4e6, 1.0, 7.0e6),
+            (32.0, 1.8e6, 0.7, 9.5e6),
+        ]);
+        assert!(check_scale(&json).unwrap_err().contains("lost its race"));
+    }
+
+    #[test]
+    fn scale_check_rejects_too_few_large_points() {
+        let json = scale_json(&[
+            (16.0, 2.1e6, 0.9, 9.0e6),
+            (16.0, 2.1e6, 0.9, 8.0e6),
+            (9.9, 1.4e6, 0.9, 7.0e6),
+            (8.0, 1.8e6, 0.7, 9.5e6),
+        ]);
+        assert!(check_scale(&json).unwrap_err().contains(">= 10x"));
+    }
+
+    #[test]
+    fn scale_check_rejects_a_throughput_collapse() {
+        let json = scale_json(&[
+            (16.0, 2.1e6, 0.9, 9.0e6),
+            (16.0, 2.1e6, 0.9, 30_000.0),
+            (12.5, 1.4e6, 0.9, 7.0e6),
+            (32.0, 1.8e6, 0.7, 9.5e6),
+        ]);
+        assert!(check_scale(&json).unwrap_err().contains("events/sec"));
+    }
+
+    #[test]
+    fn scale_check_rejects_a_tier_with_no_million_event_point() {
+        let json = scale_json(&[
+            (16.0, 9.0e5, 0.9, 9.0e6),
+            (16.0, 9.0e5, 0.9, 8.0e6),
+            (12.5, 9.0e5, 0.9, 7.0e6),
+            (32.0, 9.0e5, 0.7, 9.5e6),
+        ]);
+        assert!(check_scale(&json).unwrap_err().contains("million"));
+    }
+
+    #[test]
+    fn scale_check_rejects_malformed_reports() {
+        assert!(check_scale("{\"points\": []}")
+            .unwrap_err()
+            .contains("malformed"));
+        // Mismatched field counts (a point missing its ratio).
+        let json = "{\"points\": [{\"scale_vs_fig6\": 16.0, \"events\": 2000000, \
+                    \"events_per_sec\": 9.0e6}]}";
+        assert!(check_scale(json).unwrap_err().contains("malformed"));
     }
 
     #[test]

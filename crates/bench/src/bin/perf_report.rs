@@ -7,9 +7,11 @@
 //! Every braid point asserts bit-identical schedules before timing
 //! counts, and every EPR point asserts the unlimited-capacity fabric
 //! matches the flow oracle exactly, so the reported numbers are for
-//! *the same answer*. Fast-engine points are measured sequentially
-//! (stable wall-clocks), then re-run in parallel once to report the
-//! fan-out wall-clock of the whole grid.
+//! *the same answer*. Every timed engine point is the median of three
+//! runs (`runs_per_point` in the JSON) so a one-off scheduler hiccup
+//! cannot masquerade as a regression. Fast-engine points are measured
+//! sequentially (stable wall-clocks), then re-run in parallel once to
+//! report the fan-out wall-clock of the whole grid.
 
 #![warn(clippy::disallowed_methods)]
 
@@ -18,7 +20,7 @@ use std::time::Instant;
 
 use scq_bench::{
     fig6_workloads, parallel_map, run_planar_on_defects, run_policy, run_policy_on_defects,
-    run_policy_reference,
+    run_policy_reference, timed_median3,
 };
 use scq_braid::{schedule_traced, BraidConfig, Policy};
 use scq_ir::{DependencyDag, InteractionGraph};
@@ -41,6 +43,8 @@ fn write_report(path: &str, json: &str) {
 }
 
 const CODE_DISTANCE: u32 = 5;
+/// Timed runs per engine point; the median is reported.
+const RUNS_PER_POINT: usize = 3;
 /// Swap lanes per link for the constrained-fabric EPR points.
 const EPR_LANES: u32 = 2;
 /// Dead-resource rate for the degradation study (paper comparison on
@@ -77,12 +81,9 @@ fn main() {
     let mut points = Vec::new();
     for (bench, circuit) in &workloads {
         for &policy in &Policy::ALL {
-            let t0 = Instant::now();
-            let fast = run_policy(circuit, policy, CODE_DISTANCE);
-            let fast_secs = t0.elapsed().as_secs_f64();
-            let t0 = Instant::now();
-            let naive = run_policy_reference(circuit, policy, CODE_DISTANCE);
-            let ref_secs = t0.elapsed().as_secs_f64();
+            let (fast, fast_secs) = timed_median3(|| run_policy(circuit, policy, CODE_DISTANCE));
+            let (naive, ref_secs) =
+                timed_median3(|| run_policy_reference(circuit, policy, CODE_DISTANCE));
             assert_eq!(fast, naive, "{} {policy}: engines diverged", bench.name());
             points.push(Point {
                 app: bench.name(),
@@ -145,7 +146,8 @@ fn main() {
         (points.iter().map(|p| p.speedup().ln()).sum::<f64>() / points.len() as f64).exp();
 
     println!(
-        "Scheduler perf report (d = {CODE_DISTANCE}, fig6 grid, {} points)",
+        "Scheduler perf report (d = {CODE_DISTANCE}, fig6 grid, {} points, median of \
+         {RUNS_PER_POINT} runs)",
         points.len()
     );
     println!();
@@ -184,6 +186,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"code_distance\": {CODE_DISTANCE},");
+    let _ = writeln!(json, "  \"runs_per_point\": {RUNS_PER_POINT},");
     let _ = writeln!(json, "  \"points\": [");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };

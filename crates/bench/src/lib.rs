@@ -36,7 +36,10 @@ use scq_braid::{
 use scq_ir::{Circuit, DependencyDag, InteractionGraph};
 use scq_layout::place;
 use scq_mesh::{CommError, DefectMap, Topology};
-use scq_teleport::{schedule_planar_on_defects, PlanarConfig, PlanarSchedule};
+use scq_teleport::{
+    hop_cycles_for_distance, schedule_planar_on_defects, schedule_simd, EprConfig, EprRequest,
+    FabricEprConfig, PlanarConfig, PlanarMachine, PlanarSchedule, SimdConfig,
+};
 
 /// Formats a row of fixed-width cells.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
@@ -190,6 +193,166 @@ pub fn run_policy_reference(
         .expect("figure 6 workloads schedule cleanly")
 }
 
+/// One point of the 10–100x scale tier (`scale_report` /
+/// `BENCH_scale.json`): a located EPR demand trace large enough to
+/// stress the shared event core with millions of fabric events, plus
+/// the fabric parameters it runs under.
+pub struct ScaleWorkload {
+    /// Point label, e.g. `SHA-1 x16 d=5`.
+    pub name: String,
+    /// The machine grid the requests are located on.
+    pub topology: Topology,
+    /// The located demand trace, sorted by ideal use time.
+    pub requests: Vec<EprRequest>,
+    /// Fabric parameters, with the hop latency scaled to the point's
+    /// code distance (see [`hop_cycles_for_distance`]).
+    pub config: FabricEprConfig,
+    /// Demand size relative to this application's fig6-grid instance —
+    /// the committed tier keeps at least four points at >= 10x.
+    pub scale_vs_fig6: f64,
+}
+
+/// Schedules a circuit on the Multi-SIMD planar machine and returns its
+/// located EPR demand trace — one "block" of a scale workload.
+fn located_requests(circuit: &Circuit) -> (Topology, Vec<EprRequest>) {
+    let dag = DependencyDag::from_circuit(circuit);
+    let simd = schedule_simd(circuit, &dag, &SimdConfig::default());
+    let machine = PlanarMachine::new(circuit.num_qubits(), None);
+    let requests = machine.requests_for(&simd);
+    (machine.topology, requests)
+}
+
+/// Replays a block demand trace `blocks` times back to back, each copy
+/// time-shifted past the previous block's span — how the scale tier
+/// builds a multi-block SHA-1 from the fig6-sized single block. The
+/// result stays sorted by time, as the fabric entry points require.
+pub fn replicate_blocks(block: &[EprRequest], blocks: u32) -> Vec<EprRequest> {
+    let span = block.last().map_or(1, |r| r.time + 1);
+    let mut out = Vec::with_capacity(block.len() * blocks as usize);
+    for b in 0..u64::from(blocks) {
+        let shift = b * span;
+        out.extend(block.iter().map(|r| EprRequest {
+            time: r.time + shift,
+            ..*r
+        }));
+    }
+    out
+}
+
+/// The flow defaults with the per-tile hop latency scaled to
+/// `code_distance` — the same scaling [`PlanarConfig::fabric_config`]
+/// applies, reproduced here so scale points can sweep the distance
+/// without re-deriving the rest of the planar config.
+fn scale_config(code_distance: u32) -> FabricEprConfig {
+    let epr = EprConfig::default();
+    FabricEprConfig {
+        epr: EprConfig {
+            hop_cycles: epr.hop_cycles * hop_cycles_for_distance(code_distance),
+            ..epr
+        },
+        link_capacity: 4,
+    }
+}
+
+/// The scale-tier workload grid: demand traces 10–100x the fig6
+/// instances, covering deep uniform queues (multi-block SHA-1), bursty
+/// wide-parallel demand (wider Ising), long serial chains (SQ), and
+/// code distances up to 21 (wide timestamp ranges). `reduced` shrinks
+/// the replication factors for CI while keeping every point at >= 10x
+/// fig6 scale, so `bench_guard`'s scale checks still bind.
+pub fn scale_workloads(reduced: bool) -> Vec<ScaleWorkload> {
+    let mut points = Vec::new();
+
+    // Multi-block SHA-1: the fig6 SHA-1 instance (the most contended
+    // fig6 app) replayed back to back. Every block injects ~15k halves
+    // whose launch events all sit in the queue at once, so this is the
+    // deep-queue stress.
+    let sha1_block = located_requests(&sha1(&Sha1Params {
+        word_bits: 16,
+        rounds: 8,
+    }));
+    // 12 reduced blocks keep the point above a million fabric events,
+    // so CI still exercises the guard's million-event ratio ceiling.
+    let sha_blocks = if reduced { 12 } else { 16 };
+    let sha_requests = replicate_blocks(&sha1_block.1, sha_blocks);
+    for d in [5u32, 15] {
+        points.push(ScaleWorkload {
+            name: format!("SHA-1 x{sha_blocks} d={d}"),
+            topology: sha1_block.0,
+            requests: sha_requests.clone(),
+            config: scale_config(d),
+            scale_vs_fig6: f64::from(sha_blocks),
+        });
+    }
+
+    // Wider Ising: double the spins and trotter depth of the fig6
+    // instance (a genuinely bigger machine, not just a longer trace),
+    // then replicate the remaining factor.
+    let fig6_ising_len = located_requests(&ising(&IsingParams {
+        spins: 64,
+        trotter_steps: 4,
+        ..Default::default()
+    }))
+    .1
+    .len();
+    let wide_block = located_requests(&ising(&IsingParams {
+        spins: 128,
+        trotter_steps: 8,
+        ..Default::default()
+    }));
+    let ising_blocks = if reduced { 4 } else { 8 };
+    let ising_requests = replicate_blocks(&wide_block.1, ising_blocks);
+    let ising_scale = ising_requests.len() as f64 / fig6_ising_len.max(1) as f64;
+    for d in [5u32, 21] {
+        points.push(ScaleWorkload {
+            name: format!("IM-wide x{ising_blocks} d={d}"),
+            topology: wide_block.0,
+            requests: ising_requests.clone(),
+            config: scale_config(d),
+            scale_vs_fig6: ising_scale,
+        });
+    }
+
+    // Long serial chain (full tier only): the fig6 SQ instance,
+    // replayed many times. Near-serial demand keeps the queue shallow,
+    // stressing the calendar's cursor-advance path instead of its
+    // bucket depth.
+    if !reduced {
+        let sq_block = located_requests(&square_root(&SqParams {
+            bits: 5,
+            iterations: Some(3),
+            target: 9,
+        }));
+        let sq_requests = replicate_blocks(&sq_block.1, 32);
+        points.push(ScaleWorkload {
+            name: "SQ x32 d=15".into(),
+            topology: sq_block.0,
+            requests: sq_requests,
+            config: scale_config(15),
+            scale_vs_fig6: 32.0,
+        });
+    }
+    points
+}
+
+/// Runs `f` three times, returning the first result and the median of
+/// the three wall-clock timings — the timing discipline shared by
+/// `perf_report` and `scale_report` (the `runs_per_point` field of the
+/// JSON reports). The median absorbs one-off scheduler hiccups that a
+/// single run would report as a regression.
+pub fn timed_median3<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let result = f();
+    let mut secs = [t0.elapsed().as_secs_f64(), 0.0, 0.0];
+    for s in secs.iter_mut().skip(1) {
+        let t0 = std::time::Instant::now();
+        let _ = f();
+        *s = t0.elapsed().as_secs_f64();
+    }
+    secs.sort_by(f64::total_cmp);
+    (result, secs[1])
+}
+
 /// Maps `f` over `items` on a scoped thread pool, preserving input
 /// order in the result.
 ///
@@ -315,6 +478,72 @@ mod tests {
         // schedules — never a panic.
         let _ = run_policy_on_defects(&c, Policy::P6, 3, 0.9, 5);
         let _ = run_planar_on_defects(&c, 3, 0.9, 5);
+    }
+
+    #[test]
+    fn replicated_blocks_stay_sorted_and_grow_linearly() {
+        let block = vec![
+            EprRequest {
+                time: 3,
+                src: scq_mesh::Coord::new(0, 0),
+                dst: scq_mesh::Coord::new(2, 0),
+            },
+            EprRequest {
+                time: 9,
+                src: scq_mesh::Coord::new(1, 1),
+                dst: scq_mesh::Coord::new(1, 3),
+            },
+        ];
+        let out = replicate_blocks(&block, 5);
+        assert_eq!(out.len(), 10);
+        assert!(out.windows(2).all(|w| w[0].time <= w[1].time));
+        // Each copy preserves endpoints and intra-block spacing: the
+        // span is last.time + 1 = 10, so copy b starts at 3 + 10b.
+        assert_eq!(out[2].time, 13);
+        assert_eq!(out[9].time, 9 + 4 * 10);
+        assert_eq!(out[9].src, block[1].src);
+        assert!(replicate_blocks(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn scale_workloads_reduced_grid_is_guard_worthy() {
+        // The CI (reduced) grid must still satisfy everything
+        // bench_guard's scale check enforces on the committed artifact:
+        // at least four points, all at >= 10x fig6 scale, each sorted
+        // as the fabric entry points require.
+        let points = scale_workloads(true);
+        assert!(points.len() >= 4, "only {} scale points", points.len());
+        for p in &points {
+            assert!(
+                p.scale_vs_fig6 >= 10.0,
+                "{}: scale {}x below the 10x tier floor",
+                p.name,
+                p.scale_vs_fig6
+            );
+            assert!(!p.requests.is_empty(), "{}: empty demand trace", p.name);
+            assert!(
+                p.requests.windows(2).all(|w| w[0].time <= w[1].time),
+                "{}: requests not sorted by time",
+                p.name
+            );
+            assert!(p.config.epr.hop_cycles >= 1);
+        }
+        // The distance sweep must actually change the hop latency.
+        let hops: std::collections::BTreeSet<u64> =
+            points.iter().map(|p| p.config.epr.hop_cycles).collect();
+        assert!(hops.len() >= 2, "no distance variation across the grid");
+    }
+
+    #[test]
+    fn timed_median3_returns_the_first_result() {
+        let mut calls = 0u32;
+        let (result, secs) = timed_median3(|| {
+            calls += 1;
+            calls
+        });
+        assert_eq!(result, 1);
+        assert_eq!(calls, 3);
+        assert!(secs >= 0.0);
     }
 
     #[test]

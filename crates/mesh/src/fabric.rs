@@ -31,14 +31,14 @@
 //! assert_eq!(fabric.arrival_time(id), Some(15));
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::coord::{Coord, Path};
 use crate::defect::DefectMap;
+use crate::event_queue::{CalendarQueue, EventQueue, HeapQueue};
 use crate::heatmap::LinkHeatmap;
 use crate::topology::Topology;
 
@@ -147,6 +147,13 @@ pub struct FabricStats {
     /// Maximum simultaneously in-flight messages (launched, not yet
     /// delivered).
     pub peak_in_flight: usize,
+    /// Events popped from the event queue (launches, hop completions,
+    /// retry wakeups) — the denominator of events/sec at scale.
+    pub events_processed: u64,
+    /// Maximum pending events in the event queue at any point —
+    /// queue-implementation-independent, so a calendar-vs-heap A/B run
+    /// must report identical depths.
+    pub peak_event_queue: usize,
     /// Hops that failed on a flaky link and were retried after backoff
     /// (always zero without a [`DefectMap`]; see
     /// [`Fabric::with_defects`]).
@@ -172,8 +179,14 @@ struct FaultState {
 /// See the module docs at the top of this file for the model. Determinism: events are
 /// processed in `(time, MsgId)` order and link wait-queues are FIFO, so
 /// identical injection sequences always produce identical timelines.
+///
+/// The pending-event container is pluggable: by default the fabric
+/// runs on the O(1)-amortized [`CalendarQueue`]; [`Fabric::with_queue`]
+/// swaps in any [`EventQueue`] (e.g. the [`HeapQueue`] twin for A/B
+/// benchmarking). Every implementation pops the same `(time, MsgId)`
+/// order, so the choice cannot change a timeline — only its cost.
 #[derive(Clone, Debug)]
-pub struct Fabric {
+pub struct Fabric<Q = CalendarQueue<MsgId>> {
     topo: Topology,
     config: FabricConfig,
     /// Messages currently occupying each link.
@@ -194,44 +207,38 @@ pub struct Fabric {
     waiters: Vec<VecDeque<MsgId>>,
     msgs: Vec<InFlightMessage>,
     /// Pending launch/hop-completion events, min-ordered by (time, id).
-    events: BinaryHeap<Reverse<(u64, MsgId)>>,
+    events: Q,
     now: u64,
     in_flight: usize,
     stats: FabricStats,
 }
 
 impl Fabric {
-    /// Creates an idle fabric.
+    /// Creates an idle fabric on the default [`CalendarQueue`] event
+    /// core.
     ///
     /// # Panics
     ///
     /// Panics if `config.link_capacity` is zero or `config.hop_cycles`
     /// is zero.
     pub fn new(topo: Topology, config: FabricConfig) -> Self {
-        assert!(config.link_capacity > 0, "link capacity must be positive");
-        assert!(config.hop_cycles > 0, "hop latency must be positive");
-        Fabric {
-            topo,
-            config,
-            load: vec![0; topo.num_links()],
-            link_busy: vec![0; topo.num_links()],
-            link_stalls: vec![0; topo.num_links()],
-            link_faults: vec![0; topo.num_links()],
-            fault_state: None,
-            hop_log: None,
-            waiters: vec![VecDeque::new(); topo.num_links()],
-            msgs: Vec::new(),
-            events: BinaryHeap::new(),
-            now: 0,
-            in_flight: 0,
-            stats: FabricStats::default(),
-        }
+        Fabric::with_queue(topo, config, CalendarQueue::new())
     }
 
     /// Maximum consecutive failures of one hop before the traversal is
     /// forced through — modeling escalation to a slower, fully
     /// error-corrected retransmission so delivery always terminates.
-    pub const MAX_HOP_RETRIES: u32 = 8;
+    pub const MAX_HOP_RETRIES: u32 = MAX_HOP_RETRIES;
+
+    /// Creates an idle fabric on the [`HeapQueue`] twin — the A/B
+    /// baseline `scale_report` races against the calendar queue.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Fabric::new`].
+    pub fn new_heap_backed(topo: Topology, config: FabricConfig) -> Fabric<HeapQueue<MsgId>> {
+        Fabric::with_queue(topo, config, HeapQueue::new())
+    }
 
     /// Creates a fabric that injects transient faults on the defect
     /// map's flaky links.
@@ -281,6 +288,41 @@ impl Fabric {
             });
         }
         fabric
+    }
+}
+
+/// See [`Fabric::MAX_HOP_RETRIES`].
+const MAX_HOP_RETRIES: u32 = 8;
+
+impl<Q: EventQueue<MsgId>> Fabric<Q> {
+    /// Creates an idle fabric driven by the given event queue. The
+    /// queue choice cannot affect timelines (see [`EventQueue`]'s
+    /// ordering contract) — only the cost per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.link_capacity` is zero, `config.hop_cycles`
+    /// is zero, or `events` is not empty.
+    pub fn with_queue(topo: Topology, config: FabricConfig, events: Q) -> Self {
+        assert!(config.link_capacity > 0, "link capacity must be positive");
+        assert!(config.hop_cycles > 0, "hop latency must be positive");
+        assert!(events.is_empty(), "the event queue must start empty");
+        Fabric {
+            topo,
+            config,
+            load: vec![0; topo.num_links()],
+            link_busy: vec![0; topo.num_links()],
+            link_stalls: vec![0; topo.num_links()],
+            link_faults: vec![0; topo.num_links()],
+            fault_state: None,
+            hop_log: None,
+            waiters: vec![VecDeque::new(); topo.num_links()],
+            msgs: Vec::new(),
+            events,
+            now: 0,
+            in_flight: 0,
+            stats: FabricStats::default(),
+        }
     }
 
     /// The fabric's geometry.
@@ -381,8 +423,14 @@ impl Fabric {
             state: MsgState::Scheduled,
         });
         self.stats.injected += 1;
-        self.events.push(Reverse((launch, id)));
+        self.push_event(launch, id);
         id
+    }
+
+    /// Schedule an event, tracking the peak queue depth.
+    fn push_event(&mut self, t: u64, id: MsgId) {
+        self.events.push(t, id);
+        self.stats.peak_event_queue = self.stats.peak_event_queue.max(self.events.len());
     }
 
     /// Arrival time of message `id`, if it has been delivered.
@@ -395,13 +443,13 @@ impl Fabric {
 
     /// Time of the next pending event, if any.
     pub fn next_event_time(&self) -> Option<u64> {
-        self.events.peek().map(|&Reverse((t, _))| t)
+        self.events.next_time()
     }
 
     /// Processes every event up to and including time `t`, jumping the
     /// clock straight across idle gaps.
     pub fn advance_to(&mut self, t: u64) {
-        while let Some(&Reverse((et, id))) = self.events.peek() {
+        while let Some((et, id)) = self.events.peek() {
             if et > t {
                 break;
             }
@@ -424,7 +472,7 @@ impl Fabric {
             if let MsgState::Arrived { at } = self.msgs[id as usize].state {
                 return at;
             }
-            let Reverse((et, eid)) = self
+            let (et, eid) = self
                 .events
                 .pop()
                 .expect("fabric drained with a message still in flight");
@@ -435,7 +483,7 @@ impl Fabric {
     /// Drains every pending event; afterwards all injected messages
     /// have arrived.
     pub fn run_to_completion(&mut self) {
-        while let Some(Reverse((et, id))) = self.events.pop() {
+        while let Some((et, id)) = self.events.pop() {
             self.process_event(et, id);
         }
         debug_assert_eq!(self.in_flight, 0);
@@ -444,6 +492,7 @@ impl Fabric {
     fn process_event(&mut self, t: u64, id: MsgId) {
         debug_assert!(t >= self.now, "events must be processed in order");
         self.now = t;
+        self.stats.events_processed += 1;
         let state = self.msgs[id as usize].state.clone();
         match state {
             MsgState::Scheduled => {
@@ -476,7 +525,7 @@ impl Fabric {
                     Some(f) => {
                         let p = f.defects.flaky_probs()[link];
                         p > 0.0
-                            && f.retries[id as usize] < Self::MAX_HOP_RETRIES
+                            && f.retries[id as usize] < MAX_HOP_RETRIES
                             && f.rng.gen_range(0.0..1.0f64) < p
                     }
                     None => false,
@@ -499,7 +548,7 @@ impl Fabric {
                     self.stats.transient_faults += 1;
                     self.link_faults[link] += 1;
                     self.msgs[id as usize].state = MsgState::RetryWait;
-                    self.events.push(Reverse((t + backoff, id)));
+                    self.push_event(t + backoff, id);
                 } else {
                     if let Some(f) = &mut self.fault_state {
                         f.retries[id as usize] = 0;
@@ -545,7 +594,7 @@ impl Fabric {
     fn enter_link(&mut self, t: u64, id: MsgId, link: usize) {
         self.load[link] += 1;
         self.msgs[id as usize].state = MsgState::Traversing { link };
-        self.events.push(Reverse((t + self.config.hop_cycles, id)));
+        self.push_event(t + self.config.hop_cycles, id);
     }
 }
 
@@ -696,6 +745,30 @@ mod tests {
         f.run_to_completion();
         assert_eq!(h, before);
         assert_ne!(f.heatmap(), before);
+    }
+
+    #[test]
+    fn heap_and_calendar_backed_fabrics_agree_bit_for_bit() {
+        let topo = Topology::new(8, 8);
+        let cfg = FabricConfig {
+            hop_cycles: 2,
+            link_capacity: 2,
+        };
+        let mut cal = Fabric::new(topo, cfg);
+        let mut heap = Fabric::new_heap_backed(topo, cfg);
+        for i in 0..64u64 {
+            let y = (i % 8) as u32;
+            let r = topo.route_xy(Coord::new(0, y), Coord::new(7, (y + 3) % 8));
+            cal.inject(r.clone(), i / 4);
+            heap.inject(r, i / 4);
+        }
+        cal.run_to_completion();
+        heap.run_to_completion();
+        assert_eq!(cal.stats(), heap.stats());
+        assert_eq!(cal.heatmap(), heap.heatmap());
+        for id in 0..64 {
+            assert_eq!(cal.arrival_time(id), heap.arrival_time(id));
+        }
     }
 
     #[test]

@@ -29,7 +29,8 @@
 //! paper's planar numbers were missing.
 
 use scq_mesh::{
-    CommError, Coord, DefectMap, Fabric, FabricConfig, HopRecord, LinkHeatmap, Path, Topology,
+    CommError, Coord, DefectMap, EventQueue, Fabric, FabricConfig, HopRecord, LinkHeatmap, MsgId,
+    Path, Topology,
 };
 
 use crate::pipeline::{
@@ -102,6 +103,13 @@ pub struct FabricEprResult {
     /// Per-link busy/stall snapshot of the whole run — the congestion
     /// signal the placement optimizer feeds on.
     pub heatmap: LinkHeatmap,
+    /// Events the fabric processed (launches + hop completions +
+    /// retries) — the denominator of `scale_report`'s events/sec.
+    pub events_processed: u64,
+    /// Peak pending events in the fabric's queue. Queue-implementation
+    /// independent: a calendar-vs-heap A/B run must report the same
+    /// depth.
+    pub peak_event_queue: usize,
 }
 
 impl FabricEprResult {
@@ -163,6 +171,35 @@ pub fn simulate_epr_on_fabric(
         .map(|r| topology.route_xy(r.src, r.dst))
         .collect();
     let fabric = Fabric::new(
+        topology,
+        FabricConfig {
+            hop_cycles: config.epr.hop_cycles,
+            link_capacity: config.link_capacity,
+        },
+    );
+    run_epr_phases(requests, routes, policy, config, fabric)
+}
+
+/// [`simulate_epr_on_fabric`] on the `BinaryHeap`-backed event queue
+/// instead of the default calendar queue. Produces a bit-identical
+/// [`FabricEprResult`] (the ordering contract guarantees it; the scale
+/// suite asserts it) — this entry point exists so `scale_report` can
+/// race the two event cores on the same workload.
+///
+/// # Panics
+///
+/// As [`simulate_epr_on_fabric`].
+pub fn simulate_epr_on_heap_fabric(
+    requests: &[EprRequest],
+    policy: DistributionPolicy,
+    config: &FabricEprConfig,
+    topology: Topology,
+) -> FabricEprResult {
+    let routes: Vec<Path> = requests
+        .iter()
+        .map(|r| topology.route_xy(r.src, r.dst))
+        .collect();
+    let fabric = Fabric::new_heap_backed(
         topology,
         FabricConfig {
             hop_cycles: config.epr.hop_cycles,
@@ -312,12 +349,12 @@ pub fn simulate_epr_on_fabric_with_defects(
 /// The shared three-phase engine behind the pristine and defect-aware
 /// entry points: plan launches from uncontended route estimates, fly
 /// every half through the given fabric, account measured arrivals.
-fn run_epr_phases(
+fn run_epr_phases<Q: EventQueue<MsgId>>(
     requests: &[EprRequest],
     routes: Vec<Path>,
     policy: DistributionPolicy,
     config: &FabricEprConfig,
-    fabric: Fabric,
+    fabric: Fabric<Q>,
 ) -> FabricEprResult {
     run_epr_phases_inner(requests, routes, policy, config, fabric, false).0
 }
@@ -325,12 +362,12 @@ fn run_epr_phases(
 /// [`run_epr_phases`] with optional transcript recording: `record`
 /// keeps the planned routes/launches, measured arrivals, and the
 /// fabric's hop log alongside the result.
-fn run_epr_phases_inner(
+fn run_epr_phases_inner<Q: EventQueue<MsgId>>(
     requests: &[EprRequest],
     routes: Vec<Path>,
     policy: DistributionPolicy,
     config: &FabricEprConfig,
-    mut fabric: Fabric,
+    mut fabric: Fabric<Q>,
     record: bool,
 ) -> (FabricEprResult, Option<EprTranscript>) {
     let times: Vec<u64> = requests.iter().map(|r| r.time).collect();
@@ -396,6 +433,8 @@ fn run_epr_phases_inner(
         total_route_hops,
         transient_faults: stats.transient_faults,
         heatmap: fabric.heatmap(),
+        events_processed: stats.events_processed,
+        peak_event_queue: stats.peak_event_queue,
     };
     (result, transcript)
 }
