@@ -5,7 +5,7 @@
 //! bench_guard [BENCH_sched.json] [floor] [BENCH_epr.json] [BENCH_serve.json] [BENCH_scale.json]
 //! ```
 //!
-//! Five checks:
+//! Six checks:
 //!
 //! 1. **Scheduler speedup floor** (`BENCH_sched.json`): the
 //!    event-driven braid engine's geomean speedup over the naive
@@ -13,26 +13,32 @@
 //!    far below the measured trajectory (geomean ~8x on a quiet
 //!    machine) so only a real regression — not CI timing noise — trips
 //!    it.
-//! 2. **Placement ablation** (`BENCH_epr.json`): for every row of the
+//! 2. **Pipeline pass breakdown** (`BENCH_sched.json`): the `pass_secs`
+//!    section must parse with every stage of the artifact pipeline
+//!    present and non-negative — a renamed, dropped, or reordered pass
+//!    silently breaks the per-pass trajectory, so its absence fails the
+//!    guard rather than going unnoticed. Skipped with a note when the
+//!    file predates the section.
+//! 3. **Placement ablation** (`BENCH_epr.json`): for every row of the
 //!    `placement` section, the congestion-aware floorplan's makespan
 //!    and lane stalls must not exceed the baseline's. This is an
 //!    algorithmic invariant (only strictly improving moves are
 //!    accepted), so any violation is a real bug, never timing noise.
 //!    The check is skipped with a note when the file is absent.
-//! 3. **Degradation envelope** (`BENCH_epr.json`): every completed row
+//! 4. **Degradation envelope** (`BENCH_epr.json`): every completed row
 //!    of the `degradation` section (fig6 apps at the committed defect
 //!    rate) must keep its makespan inflation within the recorded
 //!    `degradation_envelope`, and at least one row must have completed
 //!    at all. Schedules are cycle-deterministic, so a violation is a
 //!    routing/scheduling regression, never timing noise. Skipped with a
 //!    note when the file predates the section.
-//! 4. **Serving layer** (`BENCH_serve.json`): the duplicate-laden
+//! 5. **Serving layer** (`BENCH_serve.json`): the duplicate-laden
 //!    stream's cache hit rate must stay >= 0.5, at least one app must
 //!    show a warm/cold latency ratio >= 10x, and the work-stealing
 //!    dispatcher must not run slower than the retained cursor baseline
 //!    beyond a 5% noise allowance (ratio <= 1.05). Skipped with a note
 //!    when the file is absent.
-//! 5. **Scale tier** (`BENCH_scale.json`): at least four points must
+//! 6. **Scale tier** (`BENCH_scale.json`): at least four points must
 //!    sit at >= 10x fig6 scale, every point must sustain the committed
 //!    events/sec floor on the calendar-queue event core, and on every
 //!    million-event point the calendar/heap A/B ratio must stay
@@ -74,6 +80,41 @@ fn parse_fields(json: &str, key: &str) -> Vec<f64> {
         }
     }
     out
+}
+
+/// The artifact pipeline's stages, mirrored from `perf_report`'s
+/// `PASS_NAMES` — every key must appear in the `pass_secs` section.
+const PIPELINE_STAGES: [&str; 7] = [
+    "normalize-ir",
+    "code-distance",
+    "interaction-analysis",
+    "layout",
+    "braid-schedule",
+    "planar-schedule",
+    "estimate",
+];
+
+/// Checks the `pass_secs` section of a scheduler report: every pipeline
+/// stage must be present with a non-negative wall clock. Returns
+/// `Ok(None)` when the file has no `pass_secs` section (reports from
+/// before the pass pipeline).
+fn check_pass_secs(json: &str) -> Result<Option<usize>, String> {
+    let Some(section) = json.find("\"pass_secs\"").map(|i| &json[i..]) else {
+        return Ok(None);
+    };
+    // Confine the scan to the section itself so a same-named field
+    // later in the document can never stand in for a missing stage.
+    let end = section.find('}').unwrap_or(section.len());
+    let section = &section[..end];
+    for stage in PIPELINE_STAGES {
+        let Some(secs) = parse_field(section, stage) else {
+            return Err(format!("pass_secs is missing stage `{stage}`"));
+        };
+        if secs < 0.0 {
+            return Err(format!("stage `{stage}` has negative wall clock {secs}"));
+        }
+    }
+    Ok(Some(PIPELINE_STAGES.len()))
 }
 
 /// Checks the placement section of an EPR report: every optimized
@@ -283,6 +324,19 @@ fn main() -> ExitCode {
     }
     println!("bench_guard: ok — geomean scheduler speedup {geomean:.2}x >= floor {floor:.2}x");
 
+    match check_pass_secs(&text) {
+        Ok(Some(stages)) => {
+            println!("bench_guard: ok — pipeline pass breakdown present, all {stages} stages >= 0");
+        }
+        Ok(None) => {
+            println!("bench_guard: note — {path} has no pass_secs section, skipping");
+        }
+        Err(e) => {
+            eprintln!("bench_guard: FAIL — pipeline pass breakdown in {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     match std::fs::read_to_string(&epr_path) {
         Ok(epr_text) => {
             match check_placement(&epr_text) {
@@ -348,7 +402,8 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::{
-        check_degradation, check_placement, check_scale, check_serve, parse_field, parse_fields,
+        check_degradation, check_pass_secs, check_placement, check_scale, check_serve, parse_field,
+        parse_fields, PIPELINE_STAGES,
     };
 
     #[test]
@@ -371,6 +426,63 @@ mod tests {
     fn parses_repeated_fields_in_order() {
         let json = "[{\"v\": 1}, {\"v\": 2.5}, {\"v\": 3}]";
         assert_eq!(parse_fields(json, "v"), vec![1.0, 2.5, 3.0]);
+    }
+
+    fn pass_secs_json(stages: &[(&str, f64)]) -> String {
+        let body: Vec<String> = stages
+            .iter()
+            .map(|(name, secs)| format!("    \"{name}\": {secs:.6}"))
+            .collect();
+        format!(
+            "{{\n  \"geomean_speedup\": 8.0,\n  \"pass_secs\": {{\n{}\n  }},\n  \
+             \"certify_secs\": 0.001\n}}",
+            body.join(",\n")
+        )
+    }
+
+    #[test]
+    fn pass_secs_check_accepts_a_full_breakdown() {
+        let stages: Vec<(&str, f64)> = PIPELINE_STAGES.iter().map(|&s| (s, 0.001)).collect();
+        assert_eq!(check_pass_secs(&pass_secs_json(&stages)), Ok(Some(7)));
+        // A zero-cost stage is still a valid measurement.
+        let zeroed: Vec<(&str, f64)> = PIPELINE_STAGES.iter().map(|&s| (s, 0.0)).collect();
+        assert_eq!(check_pass_secs(&pass_secs_json(&zeroed)), Ok(Some(7)));
+    }
+
+    #[test]
+    fn pass_secs_check_rejects_a_missing_stage() {
+        let stages: Vec<(&str, f64)> = PIPELINE_STAGES
+            .iter()
+            .filter(|&&s| s != "layout")
+            .map(|&s| (s, 0.001))
+            .collect();
+        assert!(check_pass_secs(&pass_secs_json(&stages))
+            .unwrap_err()
+            .contains("layout"));
+    }
+
+    #[test]
+    fn pass_secs_check_rejects_a_negative_wall_clock() {
+        let stages: Vec<(&str, f64)> = PIPELINE_STAGES
+            .iter()
+            .map(|&s| (s, if s == "estimate" { -0.001 } else { 0.001 }))
+            .collect();
+        assert!(check_pass_secs(&pass_secs_json(&stages))
+            .unwrap_err()
+            .contains("negative"));
+    }
+
+    #[test]
+    fn pass_secs_check_skips_reports_without_the_section() {
+        assert_eq!(check_pass_secs("{\"geomean_speedup\": 8.0}"), Ok(None));
+    }
+
+    #[test]
+    fn pass_secs_check_does_not_read_stages_outside_the_section() {
+        // `certify_secs` follows the section; a stage name leaked there
+        // must not satisfy the presence check.
+        let json = "{\"pass_secs\": {\"normalize-ir\": 0.001}, \"code-distance\": 0.002}";
+        assert!(check_pass_secs(json).unwrap_err().contains("missing"));
     }
 
     fn placement_json(rows: &[(u64, u64, u64, u64)]) -> String {

@@ -23,6 +23,7 @@ use scq_bench::{
     run_policy_reference, timed_median3,
 };
 use scq_braid::{schedule_traced, BraidConfig, Policy};
+use scq_core::{run_toolflow_timed, ToolflowConfig};
 use scq_ir::{DependencyDag, InteractionGraph};
 use scq_layout::place;
 use scq_teleport::{
@@ -57,6 +58,17 @@ const DEFECT_SEED: u64 = 20702;
 /// show at [`DEFECT_RATE`]; `bench_guard` fails when a regenerated row
 /// exceeds it.
 const DEGRADATION_ENVELOPE: f64 = 8.0;
+/// The standard pipeline's stages, in execution order — the keys of the
+/// `pass_secs` section (`bench_guard` checks all of them).
+const PASS_NAMES: [&str; 7] = [
+    "normalize-ir",
+    "code-distance",
+    "interaction-analysis",
+    "layout",
+    "braid-schedule",
+    "planar-schedule",
+    "estimate",
+];
 
 struct Point {
     app: &'static str,
@@ -140,6 +152,31 @@ fn main() {
     }
     let certify_secs = t0.elapsed().as_secs_f64();
 
+    // Per-pass wall clock of the artifact pipeline: one timed toolflow
+    // run per fig6 app at the report's pinned distance, durations
+    // summed per stage. `bench_guard` asserts every stage below is
+    // present and non-negative in the emitted `pass_secs` section.
+    let mut pass_secs = vec![0.0f64; PASS_NAMES.len()];
+    for (bench, _) in &workloads {
+        let config = ToolflowConfig {
+            code_distance: Some(CODE_DISTANCE),
+            ..Default::default()
+        };
+        let (_, trace) = run_toolflow_timed(*bench, &config).unwrap_or_else(|e| {
+            eprintln!("error: {}: timed toolflow failed: {e}", bench.name());
+            std::process::exit(1)
+        });
+        for t in &trace.timings {
+            match PASS_NAMES.iter().position(|n| *n == t.pass) {
+                Some(slot) => pass_secs[slot] += t.duration.as_secs_f64(),
+                None => {
+                    eprintln!("error: pipeline emitted unknown pass `{}`", t.pass);
+                    std::process::exit(1)
+                }
+            }
+        }
+    }
+
     let total_fast: f64 = points.iter().map(|p| p.fast_secs).sum();
     let total_ref: f64 = points.iter().map(|p| p.ref_secs).sum();
     let geomean_speedup =
@@ -183,6 +220,10 @@ fn main() {
         "grid certification wall-clock (scq-verify replay): {:.1}ms",
         certify_secs * 1e3
     );
+    println!("\npipeline pass breakdown (summed over the fig6 apps):");
+    for (name, s) in PASS_NAMES.iter().zip(&pass_secs) {
+        println!("  {name:<20} {:>9.3}ms", s * 1e3);
+    }
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"code_distance\": {CODE_DISTANCE},");
@@ -206,6 +247,12 @@ fn main() {
     );
     let _ = writeln!(json, "  \"geomean_speedup\": {geomean_speedup:.2},");
     let _ = writeln!(json, "  \"parallel_grid_secs\": {parallel_grid_secs:.6},");
+    let _ = writeln!(json, "  \"pass_secs\": {{");
+    for (i, (name, s)) in PASS_NAMES.iter().zip(&pass_secs).enumerate() {
+        let comma = if i + 1 < PASS_NAMES.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {s:.6}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"certify_secs\": {certify_secs:.6}");
     json.push('}');
     json.push('\n');

@@ -1,8 +1,6 @@
 //! The braid scheduling engine: message-passing simulation of braids on
 //! the circuit-switched tile mesh (paper Section 6.1).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 
@@ -723,7 +721,11 @@ fn schedule_with_sink_on<S: TraceSink>(
         state: vec![OpState::Blocked; n],
         fail_count: vec![0u32; n],
         held_paths: vec![None; n],
-        releases: CalendarQueue::new(),
+        // Release times land in multiples of the hold quantum
+        // (`d + 1` cycles), so seed the calendar ring's bucket width
+        // with it instead of making the queue rediscover it by
+        // rebuilding (see `CalendarQueue::with_width`).
+        releases: CalendarQueue::with_width(u64::from(d) + 1),
         factory_free_at: vec![0; factories.len()],
         stats,
         path_pool: Vec::new(),
@@ -739,9 +741,14 @@ fn schedule_with_sink_on<S: TraceSink>(
     let track_blocked = matches!(config.policy, Policy::P1 | Policy::P2);
     let mut ready: Vec<u32> = Vec::new();
     let mut leg2_ready: Vec<u32> = Vec::new();
-    // Min-heap of still-blocked ops (lazy deletion): the in-order
-    // policies issue up to the lowest blocked index.
-    let mut blocked_heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+    // Min-queue of still-blocked op indices (lazy deletion): the
+    // in-order policies issue up to the lowest blocked index. Runs on
+    // the shared payload-less event core — the "time" is the op index,
+    // pushed in increasing order at init and popped monotonically, so
+    // the strict calendar queue's contract holds and its pop order is
+    // bit-identical to the `BinaryHeap<Reverse<u32>>` it replaced
+    // (proven differentially in `tests/blocked_queue.rs`).
+    let mut blocked_queue: CalendarQueue<()> = CalendarQueue::new();
     let mut remaining = vec![0u32; n];
     for (i, rem) in remaining.iter_mut().enumerate() {
         *rem = dag.preds(i).len() as u32;
@@ -751,7 +758,7 @@ fn schedule_with_sink_on<S: TraceSink>(
                 ready.push(i as u32);
             }
         } else if track_blocked {
-            blocked_heap.push(Reverse(i as u32));
+            blocked_queue.push(i as u64, ());
         }
     }
     let mut done_count = 0usize;
@@ -893,11 +900,11 @@ fn schedule_with_sink_on<S: TraceSink>(
                     next_start += 1;
                 }
                 let barrier = loop {
-                    match blocked_heap.peek() {
-                        Some(&Reverse(i)) if eng.state[i as usize] != OpState::Blocked => {
-                            blocked_heap.pop();
+                    match blocked_queue.peek() {
+                        Some((i, ())) if eng.state[i as usize] != OpState::Blocked => {
+                            blocked_queue.pop();
                         }
-                        Some(&Reverse(i)) => break i,
+                        Some((i, ())) => break i as u32,
                         None => break n as u32,
                     }
                 };

@@ -28,10 +28,9 @@ use scq_braid::{BraidConfig, BraidSchedule};
 use scq_ir::{Circuit, DependencyDag, InteractionGraph};
 use scq_layout::{place, Layout};
 use scq_surface::Encoding;
-use scq_teleport::{
-    schedule_planar, schedule_planar_with, CongestionAwarePlacement, PlanarConfig, PlanarSchedule,
-};
+use scq_teleport::{PlanarConfig, PlanarSchedule};
 
+use crate::pipeline::{braid_stage, planar_stage};
 use crate::ToolflowError;
 
 /// Backend-agnostic outcome of scheduling one circuit.
@@ -177,7 +176,7 @@ impl BraidBackend {
         dag: &DependencyDag,
         layout: &Layout,
     ) -> Result<CommReport, ToolflowError> {
-        let s = scq_braid::schedule(circuit, dag, layout, &self.config)?;
+        let s = braid_stage(circuit, dag, layout, &self.config)?;
         Ok(CommReport {
             encoding: Encoding::DoubleDefect,
             cycles: s.cycles,
@@ -236,7 +235,7 @@ impl CommBackend for TeleportBackend {
         circuit: &Circuit,
         dag: &DependencyDag,
     ) -> Result<CommReport, ToolflowError> {
-        let s = schedule_planar(circuit, dag, &self.config);
+        let s = planar_stage(circuit, dag, &self.config, false);
         Ok(CommReport {
             encoding: Encoding::Planar,
             cycles: s.cycles,
@@ -251,12 +250,7 @@ impl CommBackend for TeleportBackend {
         circuit: &Circuit,
         dag: &DependencyDag,
     ) -> Result<CommReport, ToolflowError> {
-        let s = schedule_planar_with(
-            circuit,
-            dag,
-            &self.config,
-            &CongestionAwarePlacement::default(),
-        );
+        let s = planar_stage(circuit, dag, &self.config, true);
         Ok(CommReport {
             encoding: Encoding::Planar,
             cycles: s.cycles,

@@ -33,6 +33,7 @@
 
 use scq_braid::{BraidConfig, Policy, TGateModel};
 use scq_ir::Circuit;
+use scq_layout::{Layout, LayoutStrategy};
 use scq_teleport::{DistributionPolicy, EprConfig, PlanarConfig, SimdConfig};
 
 /// FNV-1a offset basis (64-bit).
@@ -182,6 +183,36 @@ impl CacheKeyed for Circuit {
 impl CacheKeyed for Policy {
     fn write_key(&self, h: &mut KeyHasher) {
         h.write_usize(self.index());
+    }
+}
+
+impl CacheKeyed for LayoutStrategy {
+    fn write_key(&self, h: &mut KeyHasher) {
+        match self {
+            LayoutStrategy::Linear => h.write_bytes(&[0]),
+            LayoutStrategy::Random(seed) => {
+                h.write_bytes(&[1]);
+                h.write_u64(*seed);
+            }
+            LayoutStrategy::InteractionAware => h.write_bytes(&[2]),
+        }
+    }
+}
+
+impl CacheKeyed for Layout {
+    /// The placement artifact: grid dimensions plus every qubit's tile,
+    /// in qubit order. This is the hash the pipeline records for its
+    /// `layout` artifact — it moves only when the placement itself
+    /// moves, never with the policy index or code distance.
+    fn write_key(&self, h: &mut KeyHasher) {
+        h.write_str("layout/v1");
+        h.write_u32(self.grid_width());
+        h.write_u32(self.grid_height());
+        h.write_usize(self.num_qubits());
+        for t in self.tiles() {
+            h.write_u32(t.x);
+            h.write_u32(t.y);
+        }
     }
 }
 

@@ -24,11 +24,13 @@
 
 mod backend;
 mod cachekey;
+pub mod pipeline;
 
 pub use backend::{
     default_backends, BraidBackend, CommBackend, CommDetail, CommReport, TeleportBackend,
 };
 pub use cachekey::{CacheKeyed, KeyHasher};
+pub use pipeline::{ArtifactContext, ArtifactHash, PipelineRunner, PipelineTrace, ToolflowPass};
 
 use std::error::Error;
 use std::fmt;
@@ -55,6 +57,11 @@ pub struct ToolflowConfig {
     /// [`Benchmark::scaled_circuit`]); `None` runs the smallest
     /// instance, which every machine can schedule in seconds.
     pub scale: Option<u32>,
+    /// Pins the code distance instead of deriving it from the
+    /// computation size and technology — for callers (like the `scq`
+    /// CLI) that take the distance as an explicit input. `None` (the
+    /// default) derives it through `distance_model`.
+    pub code_distance: Option<u32>,
     /// Estimator parameters for the encoding comparison.
     pub estimate: EstimateConfig,
 }
@@ -66,6 +73,7 @@ impl Default for ToolflowConfig {
             distance_model: CodeDistanceModel::default(),
             policy: Policy::P6,
             scale: None,
+            code_distance: None,
             estimate: EstimateConfig::default(),
         }
     }
@@ -154,6 +162,10 @@ pub enum ToolflowError {
     /// Communication is structurally impossible on the (defective)
     /// fabric: no defect-free route, or nothing left to place on.
     Comm(CommError),
+    /// An interleaved `scq-verify` invariant check found an
+    /// error-severity violation between pipeline stages (only raised
+    /// when [`PipelineRunner::with_invariant_checks`] is enabled).
+    Invariant(String),
 }
 
 impl fmt::Display for ToolflowError {
@@ -162,6 +174,7 @@ impl fmt::Display for ToolflowError {
             ToolflowError::Threshold(e) => write!(f, "{e}"),
             ToolflowError::Braid(e) => write!(f, "{e}"),
             ToolflowError::Comm(e) => write!(f, "{e}"),
+            ToolflowError::Invariant(msg) => write!(f, "pipeline invariant check failed: {msg}"),
         }
     }
 }
@@ -172,6 +185,7 @@ impl Error for ToolflowError {
             ToolflowError::Threshold(e) => Some(e),
             ToolflowError::Braid(e) => Some(e),
             ToolflowError::Comm(e) => Some(e),
+            ToolflowError::Invariant(_) => None,
         }
     }
 }
@@ -222,6 +236,10 @@ pub fn run_toolflow(
 /// Like [`run_toolflow`] but on a caller-provided circuit (any program
 /// expressed in the `scq-ir` ISA, not just the bundled benchmarks).
 ///
+/// Since the pass-pipeline refactor this is a thin wrapper over
+/// [`PipelineRunner::standard`]; [`run_toolflow_legacy_on`] retains the
+/// pre-pipeline call chain as the differential oracle.
+///
 /// # Errors
 ///
 /// As [`run_toolflow`].
@@ -230,14 +248,72 @@ pub fn run_toolflow_on(
     circuit: &Circuit,
     config: &ToolflowConfig,
 ) -> Result<ToolflowReport, ToolflowError> {
+    let mut cx = ArtifactContext::new(benchmark, circuit, *config);
+    PipelineRunner::standard().run(&mut cx)?;
+    Ok(cx.into_report())
+}
+
+/// Like [`run_toolflow`] but also returning the pipeline's per-pass
+/// wall-clock timings and artifact hashes (the `scq schedule --timings`
+/// and `pass_secs` bench data).
+///
+/// # Errors
+///
+/// As [`run_toolflow`].
+pub fn run_toolflow_timed(
+    benchmark: Benchmark,
+    config: &ToolflowConfig,
+) -> Result<(ToolflowReport, PipelineTrace), ToolflowError> {
+    let circuit = match config.scale {
+        Some(s) => benchmark.scaled_circuit(s),
+        None => benchmark.small_circuit(),
+    };
+    let mut cx = ArtifactContext::new(benchmark, &circuit, *config);
+    let trace = PipelineRunner::standard().run(&mut cx)?;
+    Ok((cx.into_report(), trace))
+}
+
+/// The pre-pipeline `run_toolflow`, retained for one PR as the
+/// differential oracle certifying that the pass pipeline is a pure
+/// re-plumbing: the differential suite asserts byte-identical reports
+/// from both paths across the full (app × policy × backend) grid.
+///
+/// # Errors
+///
+/// As [`run_toolflow`].
+pub fn run_toolflow_legacy(
+    benchmark: Benchmark,
+    config: &ToolflowConfig,
+) -> Result<ToolflowReport, ToolflowError> {
+    let circuit = match config.scale {
+        Some(s) => benchmark.scaled_circuit(s),
+        None => benchmark.small_circuit(),
+    };
+    run_toolflow_legacy_on(benchmark, &circuit, config)
+}
+
+/// The pre-pipeline `run_toolflow_on` (see [`run_toolflow_legacy`]).
+///
+/// # Errors
+///
+/// As [`run_toolflow`].
+pub fn run_toolflow_legacy_on(
+    benchmark: Benchmark,
+    circuit: &Circuit,
+    config: &ToolflowConfig,
+) -> Result<ToolflowReport, ToolflowError> {
     // Frontend: logical analysis.
     let dag = DependencyDag::from_circuit(circuit);
     let stats = scq_ir::analysis::analyze_with_dag(circuit, &dag);
 
-    // Code distance from computation size and technology.
-    let code_distance = config
-        .distance_model
-        .required_distance_for_ops(config.technology.p_physical, stats.total_ops.max(1) as f64)?;
+    // Code distance from computation size and technology (or pinned).
+    let code_distance = match config.code_distance {
+        Some(d) => d,
+        None => config.distance_model.required_distance_for_ops(
+            config.technology.p_physical,
+            stats.total_ops.max(1) as f64,
+        )?,
+    };
 
     // Mapping-level optimization; the layout feeds the braid backend
     // and stays on the report for inspection.

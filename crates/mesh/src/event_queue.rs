@@ -182,6 +182,11 @@ pub struct CalendarQueue<P: Ord> {
     /// strict mode just turns a violated engine assumption into a
     /// loud test failure instead of a silent slow path.
     strict: bool,
+    /// Ring rebuilds performed (grow, shrink, or width re-estimate).
+    rebuilds: u64,
+    /// Events that ever landed in the overflow heap — the slow path a
+    /// well-seeded `width` avoids entirely.
+    overflow_events: u64,
 }
 
 impl<P: Copy + Ord> CalendarQueue<P> {
@@ -204,6 +209,32 @@ impl<P: Copy + Ord> CalendarQueue<P> {
         Self::with_strictness(false)
     }
 
+    /// Create an empty strict queue whose initial bucket width is
+    /// seeded with the workload's known event quantum (clamped to at
+    /// least 1) instead of the 1-cycle default.
+    ///
+    /// The engines know their inter-event gap up front — the braid
+    /// scheduler's hold quantum is `code_distance + 1` cycles, the
+    /// fabric's is [`hop_cycles`](crate::FabricConfig::hop_cycles) —
+    /// and seeding it means the first fill hashes straight into the
+    /// ring at the right granularity: no events detour through the
+    /// overflow heap and no early rebuild has to re-estimate the width
+    /// the caller already knew. Ordering is unaffected (the queue is
+    /// exact at any width); only the constant factor moves.
+    pub fn with_width(quantum: u64) -> Self {
+        let mut q = Self::with_strictness(true);
+        q.width = quantum.max(1);
+        q
+    }
+
+    /// [`CalendarQueue::with_width`] with the monotonicity
+    /// debug-asserts off, as in [`CalendarQueue::new_relaxed`].
+    pub fn with_width_relaxed(quantum: u64) -> Self {
+        let mut q = Self::with_strictness(false);
+        q.width = quantum.max(1);
+        q
+    }
+
     fn with_strictness(strict: bool) -> Self {
         CalendarQueue {
             buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
@@ -218,7 +249,30 @@ impl<P: Copy + Ord> CalendarQueue<P> {
             len: 0,
             last_pop: 0,
             strict,
+            rebuilds: 0,
+            overflow_events: 0,
         }
+    }
+
+    /// Current cycles-per-bucket window (≥ 1). Starts at the seeded
+    /// quantum (or 1) and is re-estimated on every rebuild.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Ring rebuilds performed so far (growth, shrink, or width
+    /// re-estimation). A workload whose width was seeded correctly and
+    /// whose pending population fits the initial ring reports 0.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Placements that took the overflow-heap slow path because the
+    /// event sat at or beyond the ring horizon (an event re-placed by
+    /// a rebuild can count more than once). A width seeded to the
+    /// workload quantum keeps this at 0 for quantum-spaced pushes.
+    pub fn overflow_event_count(&self) -> u64 {
+        self.overflow_events
     }
 
     fn nbuckets(&self) -> usize {
@@ -236,6 +290,7 @@ impl<P: Copy + Ord> CalendarQueue<P> {
     /// this increments `cal_len` but not `len`.
     fn place(&mut self, t: u64, p: P) {
         if t >= self.horizon() {
+            self.overflow_events += 1;
             self.overflow.push(Reverse((t, p)));
             return;
         }
@@ -334,6 +389,7 @@ impl<P: Copy + Ord> CalendarQueue<P> {
     /// the in-horizon population (overflow outliers excluded unless
     /// they are all that's left).
     fn rebuild(&mut self, new_n: usize) {
+        self.rebuilds += 1;
         let new_n = new_n.clamp(MIN_BUCKETS, MAX_BUCKETS);
         let mut events: Vec<(u64, P)> = Vec::with_capacity(self.cal_len);
         for b in &mut self.buckets {
@@ -637,6 +693,85 @@ mod tests {
                 break;
             }
         }
+    }
+
+    /// The braid engine's fig6 release pattern at code distance 5: a
+    /// bounded window of in-flight ops whose releases land exactly one
+    /// hold quantum (`d + 1 = 6` cycles) after issue. This is the
+    /// trace shape every fig6 app (gse, square-root, sha1, ising)
+    /// drives through the `releases` queue.
+    fn fig6_release_trace<Q: EventQueue<u32>>(q: &mut Q, quantum: u64, concurrency: u32) {
+        let mut id = 0u32;
+        // First fill: one release wave, quantum-spaced.
+        for i in 0..concurrency {
+            q.push(u64::from(i) * quantum, id);
+            id += 1;
+        }
+        // Steady state: each pop at time t issues a successor whose
+        // release lands at t + quantum, exactly like op completion
+        // unblocking a dependent.
+        for _ in 0..2000 {
+            let (t, _) = q.pop().expect("steady-state queue never empties");
+            q.push(t + quantum, id);
+            id += 1;
+        }
+        while q.pop().is_some() {}
+    }
+
+    #[test]
+    fn seeded_width_absorbs_the_first_fill_without_resizing() {
+        // Satellite: seeding the bucket width with the braid hold
+        // quantum (d + 1) keeps the whole fig6-shaped trace in the
+        // ring — no rebuild ever re-estimates the width the engine
+        // already knew, and no event detours through the overflow
+        // heap. The unseeded queue needs the overflow slow path for
+        // the same trace (its 16-cycle horizon is narrower than one
+        // release wave).
+        const QUANTUM: u64 = 6; // d = 5
+        let mut seeded = CalendarQueue::with_width(QUANTUM);
+        fig6_release_trace(&mut seeded, QUANTUM, 16);
+        assert_eq!(seeded.rebuild_count(), 0, "seeded queue resized");
+        assert_eq!(seeded.width(), QUANTUM, "seeded width was re-estimated");
+        assert_eq!(seeded.overflow_event_count(), 0, "seeded queue overflowed");
+
+        let mut unseeded = CalendarQueue::new();
+        fig6_release_trace(&mut unseeded, QUANTUM, 16);
+        assert!(
+            unseeded.overflow_event_count() > 0,
+            "default width should have needed the overflow heap here"
+        );
+    }
+
+    #[test]
+    fn seeded_width_pops_identically_to_the_heap() {
+        let events: Vec<(u64, u32)> = (0..500u64)
+            .map(|i| ((i % 40) * 6 + i / 40, i as u32))
+            .collect();
+        let mut cal = CalendarQueue::with_width(6);
+        let mut heap = HeapQueue::new();
+        for &(t, p) in &events {
+            cal.push(t, p);
+            heap.push(t, p);
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_seed_clamps_to_one() {
+        let mut q = CalendarQueue::with_width(0);
+        assert_eq!(q.width(), 1);
+        q.push(3, 1u32);
+        q.push(0, 0u32);
+        assert_eq!(q.pop(), Some((0, 0)));
+        assert_eq!(q.pop(), Some((3, 1)));
+        let relaxed: CalendarQueue<u32> = CalendarQueue::with_width_relaxed(0);
+        assert_eq!(relaxed.width(), 1);
     }
 
     #[test]

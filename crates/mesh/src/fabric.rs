@@ -215,14 +215,18 @@ pub struct Fabric<Q = CalendarQueue<MsgId>> {
 
 impl Fabric {
     /// Creates an idle fabric on the default [`CalendarQueue`] event
-    /// core.
+    /// core, with the queue's bucket width seeded to the fabric's hop
+    /// quantum ([`FabricConfig::hop_cycles`]) — launches, hop
+    /// completions, and retry wakeups are all spaced in multiples of
+    /// it, so the seeded ring absorbs them without the width
+    /// re-estimation an unseeded queue would need.
     ///
     /// # Panics
     ///
     /// Panics if `config.link_capacity` is zero or `config.hop_cycles`
     /// is zero.
     pub fn new(topo: Topology, config: FabricConfig) -> Self {
-        Fabric::with_queue(topo, config, CalendarQueue::new())
+        Fabric::with_queue(topo, config, CalendarQueue::with_width(config.hop_cycles))
     }
 
     /// Maximum consecutive failures of one hop before the traversal is

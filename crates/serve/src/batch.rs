@@ -13,13 +13,21 @@
 //! hit must be *byte-identical* to what a cold run of the same request
 //! would have produced (wall-clock fields live outside the summary for
 //! exactly this reason).
+//!
+//! Since the pass-pipeline refactor the runner also memoizes the
+//! *placement artifact* separately from whole schedules, under the
+//! coarser [`ScheduleRequest::placement_key`]: braid requests differing
+//! only in policy (within one layout strategy) or code distance miss
+//! the schedule cache but reuse the cached [`Layout`], skipping the
+//! placement compute entirely ([`BatchRunner::placement_stats`] counts
+//! the savings).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use scq_braid::{schedule, schedule_on_defects, schedule_traced, schedule_traced_on_defects};
 use scq_ir::{Circuit, DependencyDag, InteractionGraph};
-use scq_layout::place;
+use scq_layout::{place, Layout};
 use scq_teleport::{
     schedule_planar, schedule_planar_on_defects, schedule_planar_traced,
     schedule_planar_traced_on_defects, PlanarMachine, PlanarSchedule,
@@ -115,14 +123,17 @@ impl ScheduleResponse {
 /// ```
 pub struct BatchRunner {
     cache: ScheduleCache<ScheduleOutcome>,
+    placements: ScheduleCache<Layout>,
 }
 
 impl BatchRunner {
     /// A runner whose cache holds at most `capacity` schedules
-    /// (clamped to at least 1).
+    /// (clamped to at least 1); the placement-artifact cache gets the
+    /// same capacity (placements are far smaller than schedules).
     pub fn new(capacity: usize) -> Self {
         BatchRunner {
             cache: ScheduleCache::new(capacity),
+            placements: ScheduleCache::new(capacity),
         }
     }
 
@@ -145,6 +156,14 @@ impl BatchRunner {
         self.cache.stats()
     }
 
+    /// Placement-artifact cache counters: a hit here is a braid request
+    /// that skipped its placement compute because another request with
+    /// the same circuit, layout strategy, and defect spec already paid
+    /// for it (policy-within-strategy and code-distance changes hit).
+    pub fn placement_stats(&self) -> CacheStats {
+        self.placements.stats()
+    }
+
     fn serve(&self, index: usize, request: &ScheduleRequest) -> ScheduleResponse {
         let start = Instant::now();
         let normalized = match request.normalize() {
@@ -162,7 +181,7 @@ impl BatchRunner {
         };
         let (outcome, provenance) = self.cache.get_or_compute(normalized.key, || {
             let t0 = Instant::now();
-            let mut outcome = compute(&normalized.request, &normalized.circuit)?;
+            let mut outcome = compute(&normalized.request, &normalized.circuit, &self.placements)?;
             outcome.compute_secs = t0.elapsed().as_secs_f64();
             Ok(outcome)
         });
@@ -179,9 +198,13 @@ impl BatchRunner {
 
 /// Runs the actual scheduling pipeline for one normalized request.
 /// `compute_secs` is left at 0 for the caller to stamp.
-fn compute(request: &ScheduleRequest, circuit: &Circuit) -> Result<ScheduleOutcome, ServeError> {
+fn compute(
+    request: &ScheduleRequest,
+    circuit: &Circuit,
+    placements: &ScheduleCache<Layout>,
+) -> Result<ScheduleOutcome, ServeError> {
     match request.backend {
-        BackendKind::Braid => compute_braid(request, circuit),
+        BackendKind::Braid => compute_braid(request, circuit, placements),
         BackendKind::Planar => compute_planar(request, circuit),
     }
 }
@@ -189,10 +212,18 @@ fn compute(request: &ScheduleRequest, circuit: &Circuit) -> Result<ScheduleOutco
 fn compute_braid(
     request: &ScheduleRequest,
     circuit: &Circuit,
+    placements: &ScheduleCache<Layout>,
 ) -> Result<ScheduleOutcome, ServeError> {
     let dag = DependencyDag::from_circuit(circuit);
-    let graph = InteractionGraph::from_circuit(circuit);
-    let layout = place(&graph, request.policy.layout_strategy(), None);
+    // The placement artifact is memoized separately from the schedule:
+    // its key is coarser (no policy index, no code distance), so e.g. a
+    // P3@d5 request warms the placement for a later P6@d9 one.
+    let (placed, _placement_provenance) =
+        placements.get_or_compute(request.placement_key(circuit), || {
+            let graph = InteractionGraph::from_circuit(circuit);
+            Ok(place(&graph, request.policy.layout_strategy(), None))
+        });
+    let layout = placed?;
     let config = request.braid_config();
     let dims = scq_braid::braid_mesh_dims(&layout, circuit);
     let map = request.defects.materialize(dims)?;
@@ -452,6 +483,119 @@ mod tests {
             "planar outcomes carry the placement"
         );
         assert!(out.summary.contains("planar"));
+    }
+
+    #[test]
+    fn policy_and_distance_changes_reuse_the_cached_placement() {
+        // P3 and P6 share the interaction-aware layout strategy, and
+        // code distance never enters placement: the second request must
+        // miss the schedule cache but skip the placement compute.
+        let a = ScheduleRequest {
+            policy: Policy::P3,
+            ..tiny_request()
+        };
+        let b = ScheduleRequest {
+            policy: Policy::P6,
+            code_distance: 9,
+            ..a.clone()
+        };
+        let runner = BatchRunner::new(8);
+        let ra = runner.run_one(&a);
+        let rb = runner.run_one(&b);
+        assert_eq!(ra.provenance, Provenance::Miss);
+        assert_eq!(
+            rb.provenance,
+            Provenance::Miss,
+            "different policy/distance is a new schedule"
+        );
+        let p = runner.placement_stats();
+        assert_eq!(p.computes, 1, "placement computed once for both");
+        assert!(p.hits >= 1, "second request hit the placement cache");
+        // The placement-cache path must serve exactly the bytes a cold
+        // run (fresh runner, no warm placement) computes.
+        let cold = BatchRunner::new(8).run_one(&b).outcome.unwrap();
+        assert_eq!(
+            rb.outcome.unwrap().summary.as_bytes(),
+            cold.summary.as_bytes(),
+            "placement reuse changed the schedule"
+        );
+    }
+
+    #[test]
+    fn distance_only_change_misses_schedule_cache_but_hits_placement() {
+        let a = tiny_request();
+        let b = ScheduleRequest {
+            code_distance: 7,
+            ..a.clone()
+        };
+        let runner = BatchRunner::new(8);
+        let _ = runner.run_one(&a);
+        let rb = runner.run_one(&b);
+        assert_eq!(
+            rb.provenance,
+            Provenance::Miss,
+            "distance changes the schedule key"
+        );
+        let p = runner.placement_stats();
+        assert_eq!((p.computes, p.hits), (1, 1));
+    }
+
+    #[test]
+    fn placement_cache_misses_on_defect_spec_and_circuit_changes() {
+        let clean = tiny_request();
+        let defected = ScheduleRequest {
+            defects: DefectSpec::Sampled {
+                rate: 0.01,
+                seed: 7,
+            },
+            ..clean.clone()
+        };
+        let mut b = Circuit::builder("other", 4);
+        b.h(0).cnot(0, 1).cnot(1, 2).cnot(2, 3);
+        let other_circuit = ScheduleRequest::for_circuit(Arc::new(b.finish()));
+        let runner = BatchRunner::new(8);
+        let _ = runner.run_one(&clean);
+        let _ = runner.run_one(&defected);
+        let _ = runner.run_one(&other_circuit);
+        let p = runner.placement_stats();
+        assert_eq!(
+            p.computes, 3,
+            "defect-spec and circuit changes must each key a fresh placement"
+        );
+        assert_eq!(p.hits, 0);
+    }
+
+    #[test]
+    fn planar_requests_never_touch_the_placement_cache() {
+        let req = ScheduleRequest {
+            backend: BackendKind::Planar,
+            ..tiny_request()
+        };
+        let runner = BatchRunner::new(8);
+        let _ = runner.run_one(&req).outcome.unwrap();
+        let p = runner.placement_stats();
+        assert_eq!((p.computes, p.hits, p.misses), (0, 0, 0));
+    }
+
+    #[test]
+    fn schedule_errors_surface_identically_with_a_warm_placement_cache() {
+        // A heavily defected braid request fails the same way whether
+        // its placement was computed cold or served from the cache —
+        // the placement cache must not perturb error surfacing.
+        let req = ScheduleRequest {
+            defects: DefectSpec::Sampled { rate: 0.9, seed: 3 },
+            ..tiny_request()
+        };
+        let runner = BatchRunner::new(8);
+        let cold = runner.run_one(&req);
+        let warm = runner.run_one(&req);
+        let cold_err = cold.outcome.expect_err("90% dead hardware schedules?");
+        let warm_err = warm.outcome.expect_err("errors are never cached");
+        assert_eq!(format!("{cold_err:?}"), format!("{warm_err:?}"));
+        assert!(
+            runner.placement_stats().hits >= 1,
+            "the retry reused the placement artifact"
+        );
     }
 
     #[test]

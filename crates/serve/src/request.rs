@@ -261,6 +261,25 @@ impl ScheduleRequest {
         })
     }
 
+    /// The content key of the *placement artifact* this request's braid
+    /// schedule runs on — deliberately coarser than the schedule key.
+    ///
+    /// Placement depends on the circuit and the policy's layout
+    /// *strategy*, never on the policy index within a strategy or the
+    /// code distance, so requests differing only in those reuse one
+    /// cached placement (and skip its compute). The defect spec *is*
+    /// keyed, conservatively: today's strategies are defect-blind, but
+    /// a defect-aware placer (ROADMAP item 5) must never inherit a
+    /// floorplan computed for different hardware.
+    pub fn placement_key(&self, circuit: &Circuit) -> u64 {
+        let mut h = KeyHasher::new();
+        h.write_str("scq-serve/placement/1");
+        circuit.write_key(&mut h);
+        self.policy.layout_strategy().write_key(&mut h);
+        self.defects.write_key(&mut h);
+        h.finish()
+    }
+
     /// The effective braid configuration of this request.
     pub fn braid_config(&self) -> BraidConfig {
         BraidConfig {

@@ -31,14 +31,21 @@
 //! `schedule --verify` additionally replays every emitted schedule
 //! through the independent `scq-verify` certifier and fails (nonzero
 //! exit) on any invariant violation.
+//!
+//! `schedule` and `check` route their frontend and mapping stages
+//! through the `scq-core` pass pipeline — the same passes `run_toolflow`
+//! executes — so `schedule --timings` can print a per-pass wall-clock
+//! breakdown together with each artifact's content hash.
 
 #![warn(clippy::disallowed_methods)]
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use scq::braid::{
     braid_mesh_dims, schedule_traced, schedule_traced_on_defects, BraidConfig, Policy,
 };
+use scq::core::{ArtifactContext, PipelineRunner, ToolflowConfig};
 use scq::estimate::{estimate_both, AppProfile, EstimateConfig};
 use scq::ir::{
     analysis, circuit_from_qasm, optimize, Circuit, CliError, DependencyDag, InteractionGraph,
@@ -53,7 +60,7 @@ use scq::teleport::{
 };
 use scq::verify::{
     certify_braid_trace, certify_planar_schedule, CheckContext, FabricView, Finding, PassRunner,
-    Severity,
+    PassTiming, Severity,
 };
 
 fn main() -> ExitCode {
@@ -86,6 +93,8 @@ fn main() -> ExitCode {
             eprintln!("  --defect-map FILE  explicit defect map (dims must match a backend)");
             eprintln!("verification:");
             eprintln!("  schedule --verify  certify emitted schedules with scq-verify");
+            eprintln!("timing:");
+            eprintln!("  schedule --timings per-pass wall clock + artifact content hashes");
             return ExitCode::from(2);
         }
     };
@@ -288,11 +297,21 @@ fn report_findings(findings: &[Finding], what: &str) -> Result<(), CliError> {
 fn cmd_check(circuit: &Circuit, rest: &[String]) -> CliResult {
     let (pos, defects) = parse_defect_opts(rest)?;
     let policy = parse_policy(&pos)?;
-    let _code_distance = parse_distance(&pos, 1)?;
-    let dag = DependencyDag::from_circuit(circuit);
-    let graph = InteractionGraph::from_circuit(circuit);
-    let layout = place(&graph, policy.layout_strategy(), None);
-    let braid_map = defects.map_for(braid_mesh_dims(&layout, circuit), "braid")?;
+    let code_distance = parse_distance(&pos, 1)?;
+    // Frontend + mapping through the shared toolflow pass pipeline —
+    // the same stages `run_toolflow` runs — then the independent
+    // scq-verify check passes over the resulting artifacts.
+    let tf_config = ToolflowConfig {
+        policy,
+        code_distance: Some(code_distance),
+        ..Default::default()
+    };
+    let mut art = ArtifactContext::for_circuit(circuit, tf_config);
+    let pipeline = PipelineRunner::analysis().run(&mut art)?;
+    let (Some(dag), Some(layout)) = (art.dag(), art.layout()) else {
+        return Err(CliError::invalid("analysis pipeline deposited no DAG/layout").into());
+    };
+    let braid_map = defects.map_for(braid_mesh_dims(layout, circuit), "braid")?;
     if let Some(map) = &braid_map {
         describe_map(map, "braid");
     }
@@ -303,15 +322,15 @@ fn cmd_check(circuit: &Circuit, rest: &[String]) -> CliResult {
     }
     let cx = CheckContext {
         circuit,
-        dag: &dag,
+        dag,
         fabrics: vec![
-            FabricView::braid(&layout, circuit, None, braid_map.as_ref()),
+            FabricView::braid(layout, circuit, None, braid_map.as_ref()),
             FabricView::planar(&machine, circuit, planar_map.as_ref()),
         ],
     };
     let report = PassRunner::standard().run(&cx);
-    for t in &report.timings {
-        println!("pass {:<18} {:>9.1?}", t.pass, t.duration);
+    for t in pipeline.timings.iter().chain(&report.timings) {
+        println!("pass {:<20} {:>9.1?}", t.pass, t.duration);
     }
     report_findings(&report.findings, circuit.name())?;
     println!(
@@ -327,25 +346,46 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
     let before = rest.len();
     rest.retain(|a| a != "--verify");
     let verify = rest.len() != before;
+    let before = rest.len();
+    rest.retain(|a| a != "--timings");
+    let timings = rest.len() != before;
     let (pos, defects) = parse_defect_opts(&rest)?;
     let policy = parse_policy(&pos)?;
     let code_distance = parse_distance(&pos, 1)?;
-    let dag = DependencyDag::from_circuit(circuit);
-    let graph = InteractionGraph::from_circuit(circuit);
-    let layout = place(&graph, policy.layout_strategy(), None);
+    // Frontend + mapping through the shared toolflow pass pipeline —
+    // the same stages `run_toolflow` runs, with per-pass wall clock and
+    // per-artifact content hashes. The backend schedulers run below
+    // with tracing enabled (which the pipeline passes do not), timed
+    // under the same stage names.
+    let tf_config = ToolflowConfig {
+        policy,
+        code_distance: Some(code_distance),
+        ..Default::default()
+    };
+    let mut art = ArtifactContext::for_circuit(circuit, tf_config);
+    let pipeline = PipelineRunner::analysis().run(&mut art)?;
+    let mut pass_timings = pipeline.timings.clone();
+    let (Some(dag), Some(layout)) = (art.dag(), art.layout()) else {
+        return Err(CliError::invalid("analysis pipeline deposited no DAG/layout").into());
+    };
     let config = BraidConfig {
         policy,
         code_distance,
         ..Default::default()
     };
-    let braid_map = defects.map_for(braid_mesh_dims(&layout, circuit), "braid")?;
+    let braid_map = defects.map_for(braid_mesh_dims(layout, circuit), "braid")?;
+    if let Some(map) = &braid_map {
+        describe_map(map, "braid");
+    }
+    let braid_t0 = Instant::now();
     let (braid, trace) = match &braid_map {
-        Some(map) => {
-            describe_map(map, "braid");
-            schedule_traced_on_defects(circuit, &dag, &layout, &config, map)?
-        }
-        None => schedule_traced(circuit, &dag, &layout, &config)?,
+        Some(map) => schedule_traced_on_defects(circuit, dag, layout, &config, map)?,
+        None => schedule_traced(circuit, dag, layout, &config)?,
     };
+    pass_timings.push(PassTiming {
+        pass: "braid-schedule",
+        duration: braid_t0.elapsed(),
+    });
     trace.validate()?;
     println!("double-defect ({policy}, d={code_distance}): {braid}");
     println!(
@@ -353,7 +393,7 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
         trace.events.len()
     );
     if verify {
-        let findings = certify_braid_trace(&trace, circuit, &dag, braid_map.as_ref());
+        let findings = certify_braid_trace(&trace, circuit, dag, braid_map.as_ref());
         report_findings(&findings, "braid schedule")?;
         println!("  certified: {} braid invariants hold", trace.events.len());
     }
@@ -365,24 +405,34 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
     if let Some(map) = &planar_map {
         describe_map(map, "planar");
     }
+    let planar_t0 = Instant::now();
     let planar = if verify {
         let (planar, transcript) = match &planar_map {
             Some(map) => {
-                schedule_planar_traced_on_defects(circuit, &dag, &planar_config, map, defects.seed)?
+                schedule_planar_traced_on_defects(circuit, dag, &planar_config, map, defects.seed)?
             }
-            None => schedule_planar_traced(circuit, &dag, &planar_config),
+            None => schedule_planar_traced(circuit, dag, &planar_config),
         };
+        pass_timings.push(PassTiming {
+            pass: "planar-schedule",
+            duration: planar_t0.elapsed(),
+        });
         let findings =
-            certify_planar_schedule(&planar, &transcript, circuit, &dag, planar_map.as_ref());
+            certify_planar_schedule(&planar, &transcript, circuit, dag, planar_map.as_ref());
         report_findings(&findings, "planar schedule")?;
         planar
     } else {
-        match &planar_map {
+        let planar = match &planar_map {
             Some(map) => {
-                schedule_planar_on_defects(circuit, &dag, &planar_config, map, defects.seed)?
+                schedule_planar_on_defects(circuit, dag, &planar_config, map, defects.seed)?
             }
-            None => schedule_planar(circuit, &dag, &planar_config),
-        }
+            None => schedule_planar(circuit, dag, &planar_config),
+        };
+        pass_timings.push(PassTiming {
+            pass: "planar-schedule",
+            duration: planar_t0.elapsed(),
+        });
+        planar
     };
     println!(
         "planar (Multi-SIMD): {} cycles, {} teleports, peak {} live EPR pairs",
@@ -401,6 +451,16 @@ fn cmd_schedule(circuit: &Circuit, rest: &[String]) -> CliResult {
             "  transient faults: {} hop retries absorbed by the EPR pipeline",
             planar.transient_faults
         );
+    }
+    if timings {
+        println!("per-pass timings:");
+        for t in &pass_timings {
+            println!("  pass {:<20} {:>9.1?}", t.pass, t.duration);
+        }
+        println!("artifact hashes:");
+        for h in art.hashes() {
+            println!("  {:<20} {:016x}  [{}]", h.artifact, h.hash, h.pass);
+        }
     }
     Ok(())
 }
